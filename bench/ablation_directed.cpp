@@ -1,0 +1,181 @@
+// Ablation of Algorithm 1's central design decision (§4.1, §6.1): using
+// the bug's runtime call stack to direct the static analysis. The
+// whole-program mode explores every static caller instead — the paper's
+// argument is that this trades both precision (more false reports) and
+// scalability (more code visited) for nothing the runtime stack already
+// provides.
+#include "common.hpp"
+#include "ir/parser.hpp"
+#include "support/strings.hpp"
+#include "vuln/analyzer.hpp"
+
+namespace {
+
+// A precision probe: the racy read lives in a shared getter with one *hot*
+// caller (the one the runtime call stack records — it only logs the value)
+// and three *cold* callers that reach real vulnerable sites but never run
+// with corrupted data. The directed analysis follows the runtime stack and
+// stays quiet; the whole-program ablation walks every static caller and
+// reports all three cold sites — the §4.1 false positives.
+const char* kPrecisionProbe = R"(module probe
+global @shared
+global @buf [8]
+global @src [8]
+func @get_shared() -> i64 {
+entry:
+  %v = load @shared
+  ret %v
+}
+func @hot_logger() {
+entry:
+  %n = call @get_shared()
+  print %n
+  ret
+}
+func @cold_copier() {
+entry:
+  %n = call @get_shared()
+  memcpy @buf, @src, %n
+  ret
+}
+func @cold_admin() {
+entry:
+  %n = call @get_shared()
+  %c = icmp ne %n, 0
+  br %c, esc, out
+esc:
+  setuid 0
+  ret
+out:
+  ret
+}
+func @cold_shell() {
+entry:
+  %n = call @get_shared()
+  eval %n
+  ret
+}
+func @main() {
+entry:
+  call @hot_logger()
+  ret
+}
+)";
+
+}  // namespace
+
+int main() {
+  using namespace owl;
+  bench::print_header(
+      "Ablation: call-stack-directed vs whole-program analysis (§4.1)",
+      "directed analysis skips functions/paths that contradict runtime "
+      "effects");
+
+  TableFormatter table(
+      {"target", "mode", "vuln reports", "instr visited", "time/report"},
+      {Align::kLeft, Align::kLeft, Align::kRight, Align::kRight,
+       Align::kRight});
+
+  const workloads::NoiseProfile profile = bench::bench_profile();
+  std::uint64_t directed_visited = 0;
+  std::uint64_t whole_visited = 0;
+  std::size_t directed_reports = 0;
+  std::size_t whole_reports = 0;
+
+  for (const char* name :
+       {"libsafe", "mysql-flush", "ssdb", "apache-log", "apache-balancer",
+        "chrome"}) {
+    const workloads::Workload w = workloads::make_by_name(name, profile);
+
+    // Shared detection + reduction front end.
+    core::PipelineTarget target = w.target();
+    target.detection_schedules = bench::schedules_from_env();
+    core::PipelineOptions front;
+    front.enable_vuln_verifier = false;
+    const core::PipelineResult reduced = core::Pipeline(front).run(target);
+    const auto& survivors =
+        reduced.store.stage(core::Stage::kAfterRaceVerifier);
+
+    for (const auto mode : {vuln::VulnerabilityAnalyzer::Mode::kDirected,
+                            vuln::VulnerabilityAnalyzer::Mode::kWholeProgram}) {
+      vuln::VulnerabilityAnalyzer::Options options;
+      options.mode = mode;
+      const vuln::VulnerabilityAnalyzer analyzer(*w.module, options);
+      std::size_t reports = 0;
+      std::uint64_t visited = 0;
+      double seconds = 0;
+      for (const race::RaceReport& report : survivors) {
+        const vuln::VulnAnalysis analysis = analyzer.analyze(report);
+        reports += analysis.exploits.size();
+        visited += analysis.stats.instructions_visited;
+        seconds += analysis.stats.seconds;
+      }
+      const bool directed = mode == vuln::VulnerabilityAnalyzer::Mode::kDirected;
+      if (directed) {
+        directed_visited += visited;
+        directed_reports += reports;
+      } else {
+        whole_visited += visited;
+        whole_reports += reports;
+      }
+      table.add_row(
+          {w.name, directed ? "directed" : "whole-program",
+           std::to_string(reports), with_commas(visited),
+           survivors.empty()
+               ? "-"
+               : str_format("%.2fms", seconds * 1e3 /
+                                          static_cast<double>(survivors.size()))});
+    }
+    table.add_rule();
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // --- the precision probe ---
+  std::printf("\n--- precision probe: one hot caller, three cold callers ---\n");
+  auto probe = ir::parse_module(kPrecisionProbe).value_or_die();
+  const ir::Function* getter = probe->find_function("get_shared");
+  const ir::Function* hot = probe->find_function("hot_logger");
+  const ir::Instruction* read = getter->entry()->front();
+  const ir::Instruction* hot_call = hot->entry()->front();
+  // Runtime stack as the detector would record it: main -> hot_logger ->
+  // get_shared.
+  const interp::CallStack stack{
+      {probe->find_function("main"), probe->find_function("main")->entry()->front()},
+      {hot, hot_call},
+      {getter, read}};
+  std::size_t probe_directed = 0;
+  std::size_t probe_whole = 0;
+  for (const auto mode : {vuln::VulnerabilityAnalyzer::Mode::kDirected,
+                          vuln::VulnerabilityAnalyzer::Mode::kWholeProgram}) {
+    vuln::VulnerabilityAnalyzer::Options options;
+    options.mode = mode;
+    const vuln::VulnerabilityAnalyzer analyzer(*probe, options);
+    const std::size_t n = analyzer.analyze_from(read, stack).exploits.size();
+    if (mode == vuln::VulnerabilityAnalyzer::Mode::kDirected) {
+      probe_directed = n;
+    } else {
+      probe_whole = n;
+    }
+  }
+  std::printf(
+      "directed (runtime stack through the hot caller): %zu reports\n"
+      "whole-program (every static caller):             %zu reports\n"
+      "The %zu extra reports are sites only the never-corrupted cold\n"
+      "callers reach — pure false positives.\n",
+      probe_directed, probe_whole, probe_whole - probe_directed);
+
+  std::printf(
+      "\nShape check: whole-program analysis visits %.1fx the instructions\n"
+      "and emits %.1fx the vulnerability reports of the directed mode —\n"
+      "the extra reports are the false positives the paper's call-stack\n"
+      "direction exists to avoid (RELAY's 84%% false-report rate, §4.1).\n",
+      directed_visited == 0
+          ? 0.0
+          : static_cast<double>(whole_visited) /
+                static_cast<double>(directed_visited),
+      directed_reports == 0
+          ? 0.0
+          : static_cast<double>(whole_reports) /
+                static_cast<double>(directed_reports));
+  return whole_reports >= directed_reports && probe_whole > probe_directed ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Ablation of the Fig. 3 pipeline stages: what reaches vulnerability
+// analysis when each reduction stage is disabled. This is the quantified
+// version of the paper's §8.4 "why prior tools overlooked these attacks":
+// without the adhoc annotations and the race verifier, the vulnerable
+// races sit under orders of magnitude more benign reports.
+#include "common.hpp"
+#include "support/strings.hpp"
+
+int main() {
+  using namespace owl;
+  bench::print_header(
+      "Ablation: pipeline stages (annotation / race verifier)",
+      "94.3% reduction comes from both stages together");
+
+  struct Config {
+    const char* name;
+    bool annotate;
+    bool verify;
+  };
+  const Config kConfigs[] = {
+      {"full pipeline", true, true},
+      {"no adhoc annotation", false, true},
+      {"no race verifier", true, false},
+      {"detector only", false, false},
+  };
+
+  TableFormatter table({"target", "configuration", "reports to analyze",
+                        "attacks still detected"},
+                       {Align::kLeft, Align::kLeft, Align::kRight,
+                        Align::kRight});
+
+  const workloads::NoiseProfile profile = bench::bench_profile();
+  for (const char* name : {"mysql-flush", "chrome", "memcached", "linux"}) {
+    const workloads::Workload w = workloads::make_by_name(name, profile);
+    for (const Config& config : kConfigs) {
+      core::PipelineTarget target = w.target();
+      target.detection_schedules = bench::schedules_from_env();
+      core::PipelineOptions options = w.pipeline_options();
+      options.enable_adhoc_annotation = config.annotate;
+      options.enable_race_verifier =
+          options.enable_race_verifier && config.verify;
+      const core::PipelineResult result = core::Pipeline(options).run(target);
+      table.add_row({w.name, config.name,
+                     with_commas(result.counts.remaining),
+                     w.known_attacks == 0
+                         ? "-"
+                         : str_format("%zu/%zu", w.count_found(result),
+                                      w.known_attacks)});
+    }
+    table.add_rule();
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nShape check: each disabled stage multiplies the reports a developer\n"
+      "must inspect, while the attacks stay detected in every configuration\n"
+      "— the reduction is pure noise removal, not recall loss (OWL \"did\n"
+      "not miss the evaluated attacks\", §7.1).\n");
+  return 0;
+}

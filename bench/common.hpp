@@ -1,0 +1,78 @@
+// Shared helpers for the evaluation benches.
+//
+// Every bench binary regenerates one of the paper's tables or figures on
+// the modelled workloads and prints our measurement next to the paper's
+// published number so shapes can be compared line by line (EXPERIMENTS.md
+// records the expectations). Knobs:
+//   OWL_BENCH_SCALE      noise scale (default 1.0 = paper-shaped volumes
+//                        at ~1/10 magnitude; see DESIGN.md)
+//   OWL_BENCH_SCHEDULES  detection schedules per target (default 4)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+#include "workloads/registry.hpp"
+
+namespace owl::bench {
+
+inline double scale_from_env() {
+  if (const char* v = std::getenv("OWL_BENCH_SCALE")) {
+    const double s = std::atof(v);
+    if (s > 0) return s;
+  }
+  return 1.0;
+}
+
+inline unsigned schedules_from_env() {
+  if (const char* v = std::getenv("OWL_BENCH_SCHEDULES")) {
+    const int n = std::atoi(v);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  return 4;
+}
+
+inline workloads::NoiseProfile bench_profile() {
+  workloads::NoiseProfile profile;
+  profile.scale = scale_from_env();
+  return profile;
+}
+
+/// Runs the full OWL pipeline on one workload with its preferred options.
+inline core::PipelineResult run_pipeline(const workloads::Workload& w,
+                                         std::uint64_t seed = 1) {
+  core::PipelineTarget target = w.target(seed);
+  target.detection_schedules = schedules_from_env();
+  core::Pipeline pipeline(w.pipeline_options());
+  return pipeline.run(target);
+}
+
+/// Repeated-execution exploit driver: returns the 1-based repetition at
+/// which the attack first succeeded, or 0 if it never did within `budget`.
+inline unsigned repetitions_to_trigger(const workloads::Workload& w,
+                                       const std::vector<interp::Word>& inputs,
+                                       unsigned budget,
+                                       std::uint64_t seed_base) {
+  for (unsigned i = 0; i < budget; ++i) {
+    auto machine = w.make_machine(inputs);
+    interp::RandomScheduler sched(seed_base + i);
+    machine->run(sched);
+    if (w.attack_succeeded(*machine)) return i + 1;
+  }
+  return 0;
+}
+
+inline void print_header(const char* what, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("OWL reproduction — %s\n", what);
+  std::printf("paper reference: %s\n", paper_ref);
+  std::printf("noise scale %.2f (report volumes ~1/10 of the paper's at 1.0)\n",
+              scale_from_env());
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace owl::bench

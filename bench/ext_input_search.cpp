@@ -1,0 +1,80 @@
+// Extension experiment: automatic vulnerable-input concretization.
+//
+// The paper's OWL stops at vulnerable input *hints* and notes concrete
+// input generation "can be done via symbolic execution" (§1); its dynamic
+// verifier asks the user to tune inputs when branches diverge (§6.2). This
+// bench closes that loop automatically: starting from the benign benchmark
+// inputs (under which no attack ever manifests — see
+// finding3_trigger_effort), a hint-guided hill climb over the input vector
+// rediscovers attack-triggering inputs for every application target.
+#include "common.hpp"
+#include "support/strings.hpp"
+#include "vuln/input_search.hpp"
+
+int main() {
+  using namespace owl;
+  bench::print_header(
+      "Extension: concretizing vulnerable inputs from OWL's hints",
+      "§1/§6.2: hints -> (automated) input tuning -> concrete exploit");
+
+  TableFormatter table({"target", "exploit synthesized", "machine runs",
+                        "mutation rounds", "synthesized inputs"},
+                       {Align::kLeft, Align::kLeft, Align::kRight,
+                        Align::kRight, Align::kLeft});
+
+  const workloads::NoiseProfile profile = bench::bench_profile();
+  unsigned synthesized = 0;
+  unsigned targets = 0;
+  for (const char* name : {"libsafe", "mysql-flush", "mysql-setpass", "ssdb",
+                           "apache-log", "chrome"}) {
+    const workloads::Workload w = workloads::make_by_name(name, profile);
+    ++targets;
+
+    // Front end: detection + reduction + Algorithm 1 (no dynamic verifier —
+    // the search plays its role).
+    core::PipelineTarget target = w.target();
+    target.detection_schedules = bench::schedules_from_env();
+    core::PipelineOptions options = w.pipeline_options();
+    options.enable_vuln_verifier = false;
+    const core::PipelineResult result = core::Pipeline(options).run(target);
+
+    const vuln::ExploitReport* exploit = nullptr;
+    for (const vuln::ExploitReport& e : result.exploits) {
+      if (e.site != nullptr &&
+          e.site->loc().file.find("noise") == std::string::npos) {
+        exploit = &e;
+        break;
+      }
+    }
+    if (exploit == nullptr) {
+      table.add_row({w.name, "no hint", "-", "-", "-"});
+      continue;
+    }
+
+    const vuln::MachineWithInputs factory =
+        [&w](const std::vector<interp::Word>& inputs) {
+          return w.make_machine(inputs);
+        };
+    const vuln::InputSearchResult search = vuln::search_vulnerable_inputs(
+        *exploit, factory, w.testing_inputs);
+
+    std::vector<std::string> rendered;
+    for (const interp::Word v : search.inputs) {
+      rendered.push_back(std::to_string(v));
+    }
+    table.add_row({w.name, search.attack_found ? "yes" : "NO",
+                   std::to_string(search.evaluations),
+                   std::to_string(search.rounds_used),
+                   "{" + join(rendered, ",") + "}"});
+    if (search.attack_found) ++synthesized;
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nShape check: starting from benign benchmark inputs (0%% attack\n"
+      "rate), the hint-guided search synthesizes exploit inputs on %u/%u\n"
+      "targets — the \"input tuning\" the paper performed manually,\n"
+      "automated without symbolic execution.\n",
+      synthesized, targets);
+  return synthesized >= targets - 1 ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+// §9 related-work comparison, made executable. The paper argues prior
+// consequence/vulnerability analyses are structurally insufficient for
+// concurrency attacks:
+//
+//  - ConSeq-style consequence analysis assumes bugs and failures sit within
+//    a short intra-procedural propagation distance — but concurrency
+//    attacks "usually exploit corrupted memory that resides in different
+//    functions";
+//  - Livshits-style taint tracking follows only data flow to sensitive
+//    sinks — but attacks like Libsafe's ride an `if` control dependence;
+//  - Yamaguchi-style code-property-graph queries lack inter-procedural
+//    reasoning.
+//
+// We re-run Algorithm 1 on every verified attack race with the
+// corresponding capability removed and count which attacks survive.
+#include "common.hpp"
+#include "support/strings.hpp"
+#include "vuln/analyzer.hpp"
+
+namespace {
+
+struct Mode {
+  const char* name;
+  bool interprocedural;
+  bool control_flow;
+};
+
+}  // namespace
+
+int main() {
+  using namespace owl;
+  bench::print_header(
+      "Related-work comparison: what weaker analyses miss (§9)",
+      "ConSeq lacks cross-function reach; taint tracking lacks control flow");
+
+  const Mode kModes[] = {
+      {"OWL (full Algorithm 1)", true, true},
+      {"no inter-procedural (ConSeq/Yamaguchi-like)", false, true},
+      {"no control flow (taint/Livshits-like)", true, false},
+      {"neither", false, false},
+  };
+
+  TableFormatter table({"attack", "analysis", "finds the site?"},
+                       {Align::kLeft, Align::kLeft, Align::kLeft});
+
+  const workloads::NoiseProfile profile = bench::bench_profile();
+  std::size_t full_found = 0;
+  std::size_t conseq_found = 0;
+  std::size_t taint_found = 0;
+  std::size_t targets = 0;
+
+  for (const char* name :
+       {"libsafe", "linux", "mysql-flush", "mysql-setpass", "ssdb",
+        "apache-log", "apache-balancer", "chrome"}) {
+    const workloads::Workload w = workloads::make_by_name(name, profile);
+
+    // Shared front end up to the verified races.
+    core::PipelineTarget target = w.target();
+    target.detection_schedules = bench::schedules_from_env();
+    core::PipelineOptions front = w.pipeline_options();
+    front.enable_vuln_verifier = false;
+    const core::PipelineResult reduced = core::Pipeline(front).run(target);
+    const auto& survivors =
+        reduced.store.stage(core::Stage::kAfterRaceVerifier);
+    ++targets;
+
+    // The expected site opcodes for this workload's attack(s).
+    const auto expected = [&](const vuln::ExploitReport& e) {
+      switch (e.site->opcode()) {
+        case ir::Opcode::kStrCpy:
+        case ir::Opcode::kMemCopy:
+        case ir::Opcode::kFree:
+        case ir::Opcode::kSetUid:
+        case ir::Opcode::kCallPtr:
+        case ir::Opcode::kEval:
+          return true;
+        case ir::Opcode::kStore:
+          return e.type == vuln::SiteType::kPointerAssign;
+        default:
+          return false;
+      }
+    };
+
+    for (const Mode& mode : kModes) {
+      vuln::VulnerabilityAnalyzer::Options options;
+      options.interprocedural = mode.interprocedural;
+      options.track_control_flow = mode.control_flow;
+      const vuln::VulnerabilityAnalyzer analyzer(*w.module, options);
+      bool found = false;
+      for (const race::RaceReport& report : survivors) {
+        for (const vuln::ExploitReport& e :
+             analyzer.analyze(report).exploits) {
+          // Only count sites in the modelled program, not noise modules.
+          if (expected(e) && e.site->loc().file.find("noise") ==
+                                 std::string::npos) {
+            found = true;
+          }
+        }
+      }
+      table.add_row({w.name, mode.name, found ? "yes" : "NO"});
+      if (mode.interprocedural && mode.control_flow && found) ++full_found;
+      if (!mode.interprocedural && mode.control_flow && found) ++conseq_found;
+      if (mode.interprocedural && !mode.control_flow && found) ++taint_found;
+    }
+    table.add_rule();
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nShape check (paper §9 / Finding II):\n"
+      "  full Algorithm 1 finds the site on %zu/%zu targets;\n"
+      "  without inter-procedural reach (ConSeq-like):   %zu/%zu;\n"
+      "  without control-flow tracking (taint-like):     %zu/%zu.\n"
+      "The drops are the attacks whose bug-to-site propagation crosses\n"
+      "functions (Libsafe, SSDB, MySQL, Chrome) or rides an `if`\n"
+      "control dependence (Libsafe, SSDB, the balancer DoS).\n",
+      full_found, targets, conseq_found, targets, taint_found, targets);
+  return full_found > conseq_found && full_found > taint_found ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// §5.1 comparison, made executable: OWL's report-guided adhoc-sync
+// classification vs SyncFinder-style whole-program static matching.
+//
+// The paper: "Compared to the prior static adhoc sync identification method
+// SyncFinder, which finds the matching read and write instruction by
+// statically searching program code, our approach leverages the actual
+// runtime information from the race reports, so ours are much simpler and
+// more precise." The precision gap is not academic: a static matcher also
+// pairs SSDB's shutdown checks (Fig. 6) — a flag-guarded loop that does
+// real work — and annotating them erases the very races that carry the
+// use-after-free attack.
+#include "common.hpp"
+#include "support/strings.hpp"
+#include "sync/syncfinder.hpp"
+
+int main() {
+  using namespace owl;
+  bench::print_header(
+      "Extension: OWL's §5.1 classifier vs SyncFinder-style static matching",
+      "report-guided classification is simpler and more precise");
+
+  TableFormatter table({"target", "adhoc front end", "pairs annotated",
+                        "reports after annotation", "attack detected"},
+                       {Align::kLeft, Align::kLeft, Align::kRight,
+                        Align::kRight, Align::kLeft});
+
+  const workloads::NoiseProfile profile = bench::bench_profile();
+  bool owl_keeps_ssdb = false;
+  bool syncfinder_loses_ssdb = false;
+  std::size_t syncfinder_extra_pairs = 0;
+
+  for (const char* name : {"ssdb", "mysql-flush", "chrome"}) {
+    const workloads::Workload w = workloads::make_by_name(name, profile);
+
+    // (a) OWL's report-guided classifier (the normal pipeline).
+    const core::PipelineResult owl_result = bench::run_pipeline(w);
+    const bool owl_detected = w.attack_detected(owl_result);
+    table.add_row({w.name, "OWL (report-guided, §5.1)",
+                   std::to_string(owl_result.counts.adhoc_syncs),
+                   with_commas(owl_result.counts.after_annotation),
+                   w.known_attacks == 0 ? "-" : (owl_detected ? "yes" : "NO")});
+
+    // (b) SyncFinder-style static matching, plugged into the same pipeline.
+    const sync::SyncFinderResult statically = sync::syncfinder_scan(*w.module);
+    core::PipelineTarget target = w.target();
+    target.detection_schedules = bench::schedules_from_env();
+    core::PipelineOptions options = w.pipeline_options();
+    options.preset_annotations = &statically.annotations;
+    const core::PipelineResult sf_result = core::Pipeline(options).run(target);
+    const bool sf_detected = w.attack_detected(sf_result);
+    table.add_row({w.name, "SyncFinder-like (static)",
+                   std::to_string(statically.pairs.size()),
+                   with_commas(sf_result.counts.after_annotation),
+                   w.known_attacks == 0 ? "-" : (sf_detected ? "yes" : "NO")});
+    table.add_rule();
+
+    if (std::string_view(name) == "ssdb") {
+      owl_keeps_ssdb = owl_detected;
+      syncfinder_loses_ssdb = !sf_detected;
+      std::printf("SSDB pairs the static matcher annotated:\n");
+      for (const sync::SyncFinderPair& pair : statically.pairs) {
+        std::printf("  flag '%s': store at %s, in-loop read at %s\n",
+                    pair.flag->name().c_str(),
+                    pair.write->loc().to_string().c_str(),
+                    pair.read->loc().to_string().c_str());
+      }
+      std::printf("\n");
+    }
+    if (statically.pairs.size() >
+        owl_result.counts.adhoc_syncs + syncfinder_extra_pairs) {
+      syncfinder_extra_pairs =
+          statically.pairs.size() - owl_result.counts.adhoc_syncs;
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nShape check: the static matcher annotates pairs OWL's classifier\n"
+      "correctly rejects — most damningly SSDB's shutdown checks, whose\n"
+      "annotation suppresses the CVE-2016-1000324 races entirely:\n"
+      "  OWL keeps the SSDB attack:            %s\n"
+      "  SyncFinder-like loses the SSDB attack: %s\n",
+      owl_keeps_ssdb ? "yes" : "NO",
+      syncfinder_loses_ssdb ? "yes" : "no (unexpected)");
+  return owl_keeps_ssdb && syncfinder_loses_ssdb ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Regenerates Fig. 6 and the §8.4 SSDB result: the previously-unknown
+// shutdown use-after-free OWL found in SSDB-1.9.2 (CVE-2016-1000324).
+#include "common.hpp"
+#include "support/strings.hpp"
+#include "vuln/hint.hpp"
+
+int main() {
+  using namespace owl;
+  bench::print_header(
+      "Fig. 6: SSDB BinlogQueue shutdown race (CVE-2016-1000324)",
+      "new race + use-after-free; site at binlog.cpp:347, branch at 359");
+
+  const workloads::Workload w = workloads::make_ssdb(bench::bench_profile());
+  const core::PipelineResult result = bench::run_pipeline(w);
+
+  std::printf("pipeline: %zu raw -> %zu after annotation -> %zu verified "
+              "(paper: 12 -> 12 -> 2)\n\n",
+              result.counts.raw_reports, result.counts.after_annotation,
+              result.counts.remaining);
+
+  std::printf("--- verified races ---\n");
+  for (const race::RaceReport& report :
+       result.store.stage(core::Stage::kAfterRaceVerifier)) {
+    std::fputs(report.to_string().c_str(), stdout);
+    std::printf("\n");
+  }
+
+  std::printf("--- OWL's vulnerability reports ---\n");
+  for (const vuln::ExploitReport& exploit : result.exploits) {
+    std::fputs(vuln::render_hint(exploit).c_str(), stdout);
+  }
+
+  std::printf("\n--- dynamic verification ---\n");
+  bool uaf = false;
+  for (const core::ConcurrencyAttack& attack : result.attacks) {
+    std::fputs(attack.to_string().c_str(), stdout);
+    for (const interp::SecurityEvent& event : attack.verification.events) {
+      uaf |= event.kind == interp::SecurityEventKind::kUseAfterFree;
+    }
+  }
+
+  // The adhoc-sync subtlety the paper highlights: the shutdown checks look
+  // like adhoc synchronization but guard a working loop, so OWL must not
+  // annotate them away (Table 3: SSDB A.S. = 0).
+  std::printf(
+      "\nadhoc syncs annotated: %zu (paper: 0 — the flag-guarded loop does\n"
+      "real work, so the §5.1 busy-wait classifier must keep it)\n",
+      result.counts.adhoc_syncs);
+  std::printf("use-after-free observed under verification: %s\n",
+              uaf ? "yes" : "no");
+  std::printf("attack detected: %s\n",
+              w.attack_detected(result) ? "yes" : "NO");
+  return w.attack_detected(result) && result.counts.adhoc_syncs == 0 ? 0 : 1;
+}

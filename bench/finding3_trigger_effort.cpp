@@ -1,0 +1,75 @@
+// Quantifies §3.1 Finding III: concurrency bugs and their attacks are
+// often triggered by separate, subtle program inputs — with crafted inputs
+// most attacks trigger within 20 repeated executions, while benchmark
+// (naive) inputs practically never realize them even though the detectors
+// still see the races.
+#include "common.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+
+int main() {
+  using namespace owl;
+  bench::print_header(
+      "Finding III: trigger effort, crafted vs naive inputs",
+      "8/10 attacks trigger in <20 repetitions with subtle inputs");
+
+  TableFormatter table({"attack", "median reps (crafted)",
+                        "success in 20 (crafted)", "success in 20 (naive)",
+                        "races still detected (naive)"},
+                       {Align::kLeft, Align::kRight, Align::kRight,
+                        Align::kRight, Align::kRight});
+
+  const workloads::NoiseProfile profile = bench::bench_profile();
+  unsigned within_20 = 0;
+  unsigned total_attacks = 0;
+  for (const char* name :
+       {"libsafe", "linux", "mysql-flush", "mysql-setpass", "ssdb",
+        "apache-log", "apache-balancer", "chrome"}) {
+    const workloads::Workload w = workloads::make_by_name(name, profile);
+    ++total_attacks;
+
+    SampleStats crafted;
+    unsigned crafted_hits_20 = 0;
+    for (unsigned trial = 0; trial < 10; ++trial) {
+      const unsigned n = bench::repetitions_to_trigger(
+          w, w.exploit_inputs, 60, trial * 777 + 3);
+      if (n > 0) crafted.add(n);
+      if (n > 0 && n <= 20) ++crafted_hits_20;
+    }
+    unsigned naive_hits_20 = 0;
+    for (unsigned trial = 0; trial < 10; ++trial) {
+      if (bench::repetitions_to_trigger(w, w.testing_inputs, 20,
+                                        trial * 991 + 5) > 0) {
+        ++naive_hits_20;
+      }
+    }
+
+    // Races are still detected on naive inputs (the detector sees the
+    // unordered pair even when the consequence never manifests).
+    core::PipelineTarget target = w.target();
+    target.detection_schedules = 2;
+    core::PipelineOptions detect_only;
+    detect_only.enable_adhoc_annotation = false;
+    detect_only.enable_race_verifier = false;
+    detect_only.enable_vuln_verifier = false;
+    const core::PipelineResult detection =
+        core::Pipeline(detect_only).run(target);
+
+    const double median = crafted.count() > 0 ? crafted.median() : -1;
+    if (median > 0 && median <= 20) ++within_20;
+    table.add_row({w.name,
+                   median < 0 ? "never" : str_format("%.0f", median),
+                   str_format("%u/10", crafted_hits_20),
+                   str_format("%u/10", naive_hits_20),
+                   detection.counts.raw_reports > 0 ? "yes" : "no"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nShape check: %u/%u attacks trigger within 20 repetitions under\n"
+      "crafted inputs (paper: 8/10), while naive benchmark inputs leave the\n"
+      "attacks latent — exactly why anomaly detectors miss them and why\n"
+      "one-shot race detection cannot see the consequence.\n",
+      within_20, total_attacks);
+  return within_20 >= total_attacks - 2 ? 0 : 1;
+}

@@ -1,0 +1,203 @@
+// Micro-benchmarks (google-benchmark): interpreter throughput, detector
+// overhead, vector-clock operations, and Algorithm 1 scaling with the
+// length of the bug-to-attack propagation chain. These back the paper's
+// "reasonable for in-house testing" performance claim (§8.2's A.C. column)
+// with component-level numbers.
+#include <benchmark/benchmark.h>
+
+#include "interp/machine.hpp"
+#include "ir/builder.hpp"
+#include "ir/loops.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "race/tsan_detector.hpp"
+#include "race/vector_clock.hpp"
+#include "vuln/analyzer.hpp"
+
+namespace {
+
+using namespace owl;
+
+/// Two threads hammering a counter loop (`iters` iterations each).
+std::unique_ptr<ir::Module> make_counter_module(std::int64_t iters) {
+  auto m = std::make_unique<ir::Module>("perf");
+  ir::IRBuilder b(m.get());
+  ir::GlobalVariable* ctr = m->add_global("ctr");
+  ir::Function* worker = m->add_function("worker", ir::Type::void_type());
+  {
+    ir::BasicBlock* entry = worker->add_block("entry");
+    ir::BasicBlock* loop = worker->add_block("loop");
+    ir::BasicBlock* out = worker->add_block("out");
+    b.set_insert_point(entry);
+    b.jmp(loop);
+    b.set_insert_point(loop);
+    ir::Instruction* i = b.phi(ir::Type::i64(), "i");
+    ir::Instruction* v = b.load(ctr);
+    b.store(b.add(v, b.i64(1)), ctr);
+    ir::Instruction* n = b.add(i, b.i64(1), "n");
+    ir::Instruction* c =
+        b.icmp(ir::CmpPredicate::kSLt, n, b.i64(iters), "c");
+    b.br(c, loop, out);
+    i->add_phi_incoming(b.i64(0), entry);
+    i->add_phi_incoming(n, loop);
+    b.set_insert_point(out);
+    b.ret();
+  }
+  ir::Function* main_fn = m->add_function("main", ir::Type::void_type());
+  {
+    b.set_insert_point(main_fn->add_block("entry"));
+    ir::Instruction* t1 = b.thread_create(worker, b.i64(0), "t1");
+    ir::Instruction* t2 = b.thread_create(worker, b.i64(0), "t2");
+    b.thread_join(t1);
+    b.thread_join(t2);
+    b.ret();
+  }
+  return m;
+}
+
+void BM_InterpreterThroughput(benchmark::State& state) {
+  auto m = make_counter_module(2000);
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    interp::Machine machine(*m, {});
+    machine.start(m->find_function("main"));
+    interp::RoundRobinScheduler sched;
+    steps += machine.run(sched).steps;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+void BM_TsanDetectionOverhead(benchmark::State& state) {
+  auto m = make_counter_module(2000);
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    interp::Machine machine(*m, {});
+    race::TsanDetector detector;
+    machine.add_observer(&detector);
+    machine.start(m->find_function("main"));
+    interp::RoundRobinScheduler sched;
+    steps += machine.run(sched).steps;
+    benchmark::DoNotOptimize(detector.reports().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TsanDetectionOverhead);
+
+void BM_VectorClockJoin(benchmark::State& state) {
+  const auto threads = static_cast<race::ThreadId>(state.range(0));
+  race::VectorClock a;
+  race::VectorClock b;
+  for (race::ThreadId t = 0; t < threads; ++t) {
+    a.set(t, t * 3 + 1);
+    b.set(t, t * 2 + 7);
+  }
+  for (auto _ : state) {
+    race::VectorClock c = a;
+    c.join(b);
+    benchmark::DoNotOptimize(c.leq(a));
+  }
+}
+BENCHMARK(BM_VectorClockJoin)->Arg(4)->Arg(16)->Arg(64);
+
+/// Algorithm 1 over a data-flow chain of `depth` arithmetic hops ending in
+/// a memcpy site: analysis time should scale linearly with the chain.
+void BM_AnalyzerChainDepth(benchmark::State& state) {
+  const std::int64_t depth = state.range(0);
+  auto m = std::make_unique<ir::Module>("chain");
+  ir::IRBuilder b(m.get());
+  ir::GlobalVariable* src = m->add_global("src", 8);
+  ir::GlobalVariable* dst = m->add_global("dst", 8);
+  ir::GlobalVariable* racy = m->add_global("racy");
+  ir::Function* f = m->add_function("f", ir::Type::void_type());
+  b.set_insert_point(f->add_block("entry"));
+  ir::Instruction* v = b.load(racy, "v0");
+  const ir::Instruction* read = v;
+  for (std::int64_t i = 0; i < depth; ++i) {
+    v = b.add(v, b.i64(1));
+  }
+  b.memcpy_(dst, src, v);
+  b.ret();
+
+  const vuln::VulnerabilityAnalyzer analyzer(*m);
+  const interp::CallStack stack{{f, read}};
+  for (auto _ : state) {
+    const vuln::VulnAnalysis analysis = analyzer.analyze_from(read, stack);
+    benchmark::DoNotOptimize(analysis.exploits.size());
+  }
+  state.counters["exploits"] = 1;
+}
+BENCHMARK(BM_AnalyzerChainDepth)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+/// Inter-procedural scaling: a call chain of `depth` functions forwarding
+/// the corrupted value down to the site.
+void BM_AnalyzerCallDepth(benchmark::State& state) {
+  const std::int64_t depth = state.range(0);
+  auto m = std::make_unique<ir::Module>("calls");
+  ir::IRBuilder b(m.get());
+  ir::GlobalVariable* src = m->add_global("src", 8);
+  ir::GlobalVariable* dst = m->add_global("dst", 8);
+  ir::GlobalVariable* racy = m->add_global("racy");
+
+  ir::Function* leaf = m->add_function("leaf", ir::Type::void_type());
+  leaf->add_argument(ir::Type::i64(), "n");
+  b.set_insert_point(leaf->add_block("entry"));
+  b.memcpy_(dst, src, leaf->argument(0));
+  b.ret();
+
+  ir::Function* prev = leaf;
+  for (std::int64_t i = 0; i < depth; ++i) {
+    ir::Function* next =
+        m->add_function("hop" + std::to_string(i), ir::Type::void_type());
+    next->add_argument(ir::Type::i64(), "n");
+    b.set_insert_point(next->add_block("entry"));
+    b.call(prev, {next->argument(0)});
+    b.ret();
+    prev = next;
+  }
+  ir::Function* f = m->add_function("f", ir::Type::void_type());
+  b.set_insert_point(f->add_block("entry"));
+  ir::Instruction* read = b.load(racy, "v");
+  b.call(prev, {read});
+  b.ret();
+
+  vuln::VulnerabilityAnalyzer::Options options;
+  options.max_call_depth = static_cast<std::size_t>(depth) + 4;
+  const vuln::VulnerabilityAnalyzer analyzer(*m, options);
+  const interp::CallStack stack{{f, read}};
+  for (auto _ : state) {
+    const vuln::VulnAnalysis analysis = analyzer.analyze_from(read, stack);
+    benchmark::DoNotOptimize(analysis.exploits.size());
+  }
+}
+BENCHMARK(BM_AnalyzerCallDepth)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_ParserRoundTrip(benchmark::State& state) {
+  auto source_module = make_counter_module(10);
+  const std::string text = ir::print_module(*source_module);
+  for (auto _ : state) {
+    auto parsed = ir::parse_module(text);
+    benchmark::DoNotOptimize(parsed.is_ok());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_ParserRoundTrip);
+
+void BM_LoopAnalysis(benchmark::State& state) {
+  auto m = make_counter_module(10);
+  const ir::Function* worker = m->find_function("worker");
+  for (auto _ : state) {
+    const ir::LoopInfo loops(*worker);
+    benchmark::DoNotOptimize(loops.loops().size());
+  }
+}
+BENCHMARK(BM_LoopAnalysis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

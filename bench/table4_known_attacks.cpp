@@ -1,0 +1,95 @@
+// Regenerates Table 4 — OWL's detection results on known concurrency
+// attacks, plus the repeated-execution claim attached to it: "with the
+// listed subtle inputs, all these attacks were often triggered within 20
+// repeated queries or loops except the Apache one."
+#include "common.hpp"
+#include <optional>
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+
+int main() {
+  using namespace owl;
+  bench::print_header(
+      "Table 4: OWL's detection results on known concurrency attacks",
+      "7 known attacks, all detected; triggered within ~20 repetitions");
+
+  // The seven known attacks of Table 4 mapped to our workloads. Apache's
+  // double-free lives in the apache-2.0.48 model; the two kernel rows share
+  // the linux model (distinguished by their predicate inside the driver).
+  using interp::SecurityEventKind;
+  const struct Row {
+    const char* workload;
+    const char* paper_name;
+    const char* vuln_type;
+    const char* subtle_inputs;
+    /// Event distinguishing this attack when a workload models several
+    /// (the two Linux rows share one kernel model).
+    std::optional<SecurityEventKind> event;
+  } kRows[] = {
+      {"apache-log", "Apache-2.0.48", "Double Free", "PhP queries",
+       SecurityEventKind::kDoubleFree},
+      {"chrome", "Chrome-6.0.472.58", "Use after free", "Js console.profile",
+       std::nullopt},
+      {"libsafe", "Libsafe-2.0-16", "Buffer Overflow", "Loops with strcpy()",
+       std::nullopt},
+      {"linux", "Linux-2.6.10", "Null Func Ptr Deref", "Syscall parameters",
+       SecurityEventKind::kNullFuncPtrDeref},
+      {"linux", "Linux-2.6.29", "Privilege Escalation", "Syscall parameters",
+       SecurityEventKind::kPrivilegeEscalation},
+      {"mysql-flush", "MySQL-5.0.27", "Access Permission", "FLUSH PRIVILEGES",
+       std::nullopt},
+      {"mysql-setpass", "MySQL-5.1.35", "Double Free", "SET PASSWORD",
+       std::nullopt},
+  };
+
+  TableFormatter table({"Name", "Vul. Type", "Subtle Inputs", "detected",
+                        "median reps to trigger", "<=20 reps?"},
+                       {Align::kLeft, Align::kLeft, Align::kLeft,
+                        Align::kLeft, Align::kRight, Align::kLeft});
+
+  const workloads::NoiseProfile profile = bench::bench_profile();
+  bool all_detected = true;
+  for (const Row& row : kRows) {
+    workloads::Workload w = workloads::make_by_name(row.workload, profile);
+    const core::PipelineResult result = bench::run_pipeline(w);
+    const bool detected = w.attack_detected(result);
+    all_detected &= detected;
+
+    // Narrow the success predicate to this row's consequence when the
+    // workload models several attacks.
+    if (row.event.has_value()) {
+      const SecurityEventKind want = *row.event;
+      w.attack_succeeded = [want](const interp::Machine& machine) {
+        return machine.has_event(want);
+      };
+    }
+
+    // Repetition effort: 15 trials of the repeated-execution exploit
+    // driver, each counting runs until the first success.
+    SampleStats reps;
+    unsigned failures = 0;
+    for (unsigned trial = 0; trial < 15; ++trial) {
+      const unsigned n = bench::repetitions_to_trigger(
+          w, w.exploit_inputs, /*budget=*/60, /*seed_base=*/trial * 1000 + 1);
+      if (n == 0) {
+        ++failures;
+      } else {
+        reps.add(n);
+      }
+    }
+    const double median = reps.count() > 0 ? reps.median() : -1;
+    table.add_row(
+        {row.paper_name, row.vuln_type, row.subtle_inputs,
+         detected ? "yes" : "NO",
+         median < 0 ? "never" : str_format("%.0f", median),
+         median > 0 && median <= 20 ? "yes" : "no"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nPaper claim (§3.1 Finding III / Table 4): 8 of 10 reproduced\n"
+      "attacks trigger in under 20 repetitions with crafted inputs.\n"
+      "All attacks detected by the pipeline: %s.\n",
+      all_detected ? "yes" : "NO");
+  return all_detected ? 0 : 1;
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Full reproduction: build, test, regenerate every table and figure.
+# Knobs: OWL_BENCH_SCALE (default 1.0), OWL_BENCH_SCHEDULES (default 4).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+echo
+echo "Reproduction complete. See EXPERIMENTS.md for the paper-vs-measured"
+echo "record; bench_output.txt holds this run's tables and figures."

@@ -1,0 +1,176 @@
+#include "core/pipeline.hpp"
+
+#include <chrono>
+
+#include "support/log.hpp"
+#include "race/atomicity_detector.hpp"
+#include "sync/annotator.hpp"
+
+namespace owl::core {
+
+std::size_t PipelineResult::confirmed_attacks() const noexcept {
+  std::size_t n = 0;
+  for (const ConcurrencyAttack& attack : attacks) {
+    if (attack.confirmed()) ++n;
+  }
+  return n;
+}
+
+std::vector<race::RaceReport> Pipeline::detect(
+    const PipelineTarget& target,
+    const race::AnnotationSet* annotations) const {
+  std::vector<race::RaceReport> merged;
+  for (unsigned i = 0; i < target.detection_schedules; ++i) {
+    std::unique_ptr<interp::Machine> machine = target.factory();
+    if (target.detector == DetectorKind::kAtomicity) {
+      // §8.3 extension: an atomicity-violation detector feeding the same
+      // report stream. Annotations do not apply (the triples are already
+      // schedule-classified), so `annotations` is intentionally unused.
+      race::AtomicityDetector detector;
+      machine->add_observer(&detector);
+      interp::RandomScheduler scheduler(target.seed + i);
+      machine->run(scheduler);
+      std::vector<race::RaceReport> converted;
+      for (const race::AtomicityReport& report : detector.take_reports()) {
+        converted.push_back(report.to_race_report());
+      }
+      race::merge_reports(merged, std::move(converted));
+      continue;
+    }
+    std::unique_ptr<race::TsanDetector> detector;
+    std::unique_ptr<interp::Scheduler> scheduler;
+    if (target.detector == DetectorKind::kSki) {
+      detector = std::make_unique<race::SkiDetector>(annotations);
+      scheduler = std::make_unique<interp::PctScheduler>(
+          target.seed + i, /*depth=*/3, /*expected_steps=*/20000);
+    } else {
+      detector = std::make_unique<race::TsanDetector>(annotations);
+      scheduler =
+          std::make_unique<interp::RandomScheduler>(target.seed + i);
+    }
+    machine->add_observer(detector.get());
+    machine->run(*scheduler);
+    race::merge_reports(merged, detector->take_reports());
+  }
+  return merged;
+}
+
+PipelineResult Pipeline::run(const PipelineTarget& target) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  PipelineResult result;
+
+  // ---- step (1): raw detection ----
+  std::vector<race::RaceReport> raw = detect(target, nullptr);
+  result.counts.raw_reports = raw.size();
+  OWL_LOG(kInfo) << target.name << ": " << raw.size() << " raw race reports";
+
+  // ---- step (2): adhoc-sync annotation + re-run ----
+  std::vector<race::RaceReport> reduced;
+  if (options_.preset_annotations != nullptr) {
+    result.counts.adhoc_syncs = options_.preset_annotations->pair_count();
+    result.store.set_stage(Stage::kRawDetection, raw);
+    reduced = options_.preset_annotations->empty()
+                  ? std::move(raw)
+                  : detect(target, options_.preset_annotations);
+  } else if (options_.enable_adhoc_annotation) {
+    const sync::AnnotationOutcome outcome =
+        sync::annotate_adhoc_syncs(*target.module, raw);
+    result.counts.adhoc_syncs = outcome.unique_adhoc_syncs;
+    result.store.set_stage(Stage::kRawDetection, raw);
+    if (!outcome.annotations.empty()) {
+      reduced = detect(target, &outcome.annotations);
+    } else {
+      reduced = std::move(raw);
+    }
+  } else {
+    result.store.set_stage(Stage::kRawDetection, raw);
+    reduced = std::move(raw);
+  }
+  result.counts.after_annotation = reduced.size();
+  result.store.set_stage(Stage::kAfterAnnotation, reduced);
+  OWL_LOG(kInfo) << target.name << ": " << reduced.size()
+                 << " reports after annotation ("
+                 << result.counts.adhoc_syncs << " adhoc syncs)";
+
+  // ---- step (3): dynamic race verification ----
+  std::vector<race::RaceReport> survivors;
+  if (options_.enable_race_verifier) {
+    verify::RaceVerifier::Options vopts;
+    vopts.max_attempts = options_.race_verifier_attempts;
+    vopts.base_seed = target.seed * 7919 + 13;
+    const verify::RaceVerifier verifier(vopts);
+    for (race::RaceReport& report : reduced) {
+      const verify::RaceVerifyResult vr =
+          verifier.verify(report, target.factory);
+      if (vr.verified) survivors.push_back(report);
+    }
+    result.counts.verifier_eliminated = reduced.size() - survivors.size();
+  } else {
+    survivors = std::move(reduced);
+    result.counts.verifier_eliminated = 0;
+  }
+  result.counts.remaining = survivors.size();
+  result.store.set_stage(Stage::kAfterRaceVerifier, survivors);
+  OWL_LOG(kInfo) << target.name << ": " << survivors.size()
+                 << " verified races remain";
+
+  // ---- step (4): static vulnerability analysis (Algorithm 1) ----
+  vuln::VulnerabilityAnalyzer::Options aopts;
+  aopts.mode = options_.analyzer_mode;
+  const vuln::VulnerabilityAnalyzer analyzer(*target.module, aopts);
+  double analysis_seconds = 0.0;
+  struct PendingAttack {
+    std::size_t report_index;
+    vuln::ExploitReport exploit;
+  };
+  std::vector<PendingAttack> pending;
+  const std::vector<race::RaceReport>& final_reports =
+      result.store.stage(Stage::kAfterRaceVerifier);
+  for (std::size_t r = 0; r < final_reports.size(); ++r) {
+    const vuln::VulnAnalysis analysis = analyzer.analyze(final_reports[r]);
+    analysis_seconds += analysis.stats.seconds;
+    for (const vuln::ExploitReport& exploit : analysis.exploits) {
+      result.exploits.push_back(exploit);
+      pending.push_back({r, exploit});
+    }
+  }
+  result.counts.vulnerability_reports = result.exploits.size();
+  result.counts.avg_analysis_seconds =
+      final_reports.empty()
+          ? 0.0
+          : analysis_seconds / static_cast<double>(final_reports.size());
+  OWL_LOG(kInfo) << target.name << ": " << result.exploits.size()
+                 << " vulnerability reports";
+
+  // ---- step (5): dynamic vulnerability verification ----
+  if (options_.enable_vuln_verifier) {
+    const race::MachineFactory& factory =
+        target.exploit_factory ? target.exploit_factory : target.factory;
+    verify::VulnVerifier::Options vopts;
+    vopts.max_attempts = options_.vuln_verifier_attempts;
+    vopts.base_seed = target.seed * 104729 + 7;
+    vopts.thread_order = target.thread_order;
+    const verify::VulnVerifier verifier(vopts);
+    for (const PendingAttack& candidate : pending) {
+      const verify::VulnVerifyResult vr = verifier.verify(
+          candidate.exploit, factory, &final_reports[candidate.report_index]);
+      if (!vr.site_reached) continue;
+      ConcurrencyAttack attack;
+      attack.program = target.name;
+      attack.race = final_reports[candidate.report_index];
+      attack.exploit = candidate.exploit;
+      attack.verification = vr;
+      result.attacks.push_back(std::move(attack));
+    }
+    OWL_LOG(kInfo) << target.name << ": " << result.attacks.size()
+                   << " attack candidates reached their site, "
+                   << result.confirmed_attacks() << " realized";
+  }
+
+  result.total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace owl::core

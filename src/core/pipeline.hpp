@@ -1,0 +1,98 @@
+// The OWL pipeline — Fig. 3 of the paper, end to end.
+//
+//  (1) a concurrency error detector (TSan / SKI mode) runs the program on
+//      the given inputs and produces raw race reports;
+//  (2) the static adhoc-synchronization detector classifies the reports,
+//      annotates the busy-wait pairs, and the detector re-runs — pruning
+//      benign schedules;
+//  (3) the dynamic race verifier confirms which surviving reports are real
+//      races, attaching §5.2 security hints;
+//  (4) the static vulnerability analyzer (Algorithm 1) finds bug-to-attack
+//      propagations and emits vulnerable input hints;
+//  (5) the dynamic vulnerability verifier re-runs the program on the
+//      vulnerable inputs and confirms which attacks are realizable.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/attack.hpp"
+#include "core/report_store.hpp"
+#include "race/ski_detector.hpp"
+#include "verify/race_verifier.hpp"
+#include "verify/vuln_verifier.hpp"
+#include "vuln/analyzer.hpp"
+
+namespace owl::core {
+
+enum class DetectorKind {
+  kTsan,       ///< happens-before races (applications)
+  kSki,        ///< schedule exploration + watch lists (kernels)
+  kAtomicity,  ///< unserializable interleavings (§8.3's CTrigger extension)
+};
+
+/// What the pipeline runs against. Workloads (src/workloads) produce these.
+struct PipelineTarget {
+  std::string name;                 ///< program name for reports
+  const ir::Module* module = nullptr;
+  /// Fresh machine configured with the *testing* inputs (detection runs).
+  race::MachineFactory factory;
+  /// Fresh machine configured with the *vulnerable* inputs inferred from
+  /// the input hints (verification runs). Falls back to `factory` if unset.
+  race::MachineFactory exploit_factory;
+  /// Exploit-driver ordering hint for the vulnerability verifier.
+  std::vector<interp::ThreadId> thread_order;
+  DetectorKind detector = DetectorKind::kTsan;
+  unsigned detection_schedules = 4;  ///< schedules explored in steps (1)/(2)
+  std::uint64_t seed = 1;
+};
+
+struct PipelineOptions {
+  bool enable_adhoc_annotation = true;  ///< ablation knob (step 2)
+  /// When set, step (2) applies these annotations instead of running OWL's
+  /// report-guided classifier — the hook for plugging in a different
+  /// adhoc-sync front end (e.g. the SyncFinder-like static scanner, used by
+  /// bench/ext_syncfinder for the §5.1 precision comparison). Not owned.
+  const race::AnnotationSet* preset_annotations = nullptr;
+  bool enable_race_verifier = true;     ///< off for kernels (paper §8.3)
+  bool enable_vuln_verifier = true;
+  unsigned race_verifier_attempts = 3;
+  unsigned vuln_verifier_attempts = 8;
+  vuln::VulnerabilityAnalyzer::Mode analyzer_mode =
+      vuln::VulnerabilityAnalyzer::Mode::kDirected;
+};
+
+struct PipelineResult {
+  StageCounts counts;
+  ReportStore store;
+  /// Vulnerability reports (vulnerable input hints) per surviving race.
+  std::vector<vuln::ExploitReport> exploits;
+  /// Exploits whose site the dynamic verifier reached.
+  std::vector<ConcurrencyAttack> attacks;
+  double total_seconds = 0.0;
+
+  /// Attacks with a realized security consequence.
+  std::size_t confirmed_attacks() const noexcept;
+};
+
+class Pipeline {
+ public:
+  Pipeline() : Pipeline(PipelineOptions{}) {}
+  explicit Pipeline(PipelineOptions options) : options_(std::move(options)) {}
+
+  PipelineResult run(const PipelineTarget& target) const;
+
+  const PipelineOptions& options() const noexcept { return options_; }
+
+ private:
+  /// Steps (1)/(2): run the configured detector over N schedules.
+  std::vector<race::RaceReport> detect(
+      const PipelineTarget& target,
+      const race::AnnotationSet* annotations) const;
+
+  PipelineOptions options_;
+};
+
+}  // namespace owl::core

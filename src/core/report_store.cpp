@@ -1,0 +1,31 @@
+#include "core/report_store.hpp"
+
+#include <cassert>
+
+namespace owl::core {
+
+void ReportStore::set_stage(Stage stage, std::vector<race::RaceReport> reports) {
+  stages_[index_of(stage)] = std::move(reports);
+  present_[index_of(stage)] = true;
+}
+
+const std::vector<race::RaceReport>& ReportStore::stage(Stage stage) const {
+  assert(present_[index_of(stage)] && "stage not recorded");
+  return stages_[index_of(stage)];
+}
+
+bool ReportStore::has_stage(Stage stage) const noexcept {
+  return present_[index_of(stage)];
+}
+
+std::string ReportStore::render_stage(Stage stage) const {
+  if (!has_stage(stage)) return "<stage not recorded>\n";
+  std::string out;
+  for (const race::RaceReport& report : this->stage(stage)) {
+    out += report.to_string();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace owl::core

@@ -1,0 +1,55 @@
+// Stage-by-stage report accounting — the numbers behind the paper's
+// Table 3 (reduction) and Table 2 (detection results).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "race/report.hpp"
+
+namespace owl::core {
+
+/// Snapshot labels along the Fig. 3 pipeline.
+enum class Stage {
+  kRawDetection,      ///< detector output before any reduction (R.R.)
+  kAfterAnnotation,   ///< re-run with adhoc-sync annotations applied
+  kAfterRaceVerifier, ///< reports confirmed "in the racing moment" (R.)
+};
+
+/// Table 3's row for one program.
+struct StageCounts {
+  std::size_t raw_reports = 0;          ///< R.R.
+  std::size_t adhoc_syncs = 0;          ///< A.S. (unique annotated pairs)
+  std::size_t after_annotation = 0;
+  std::size_t verifier_eliminated = 0;  ///< R.V.E.
+  std::size_t remaining = 0;            ///< R.
+  double avg_analysis_seconds = 0.0;    ///< A.C. per report
+  std::size_t vulnerability_reports = 0;///< OWL's final reports (Table 2)
+
+  /// Fraction of raw reports pruned before vulnerability analysis.
+  double reduction_ratio() const noexcept {
+    if (raw_reports == 0) return 0.0;
+    const std::size_t kept = remaining < raw_reports ? remaining : raw_reports;
+    return 1.0 - static_cast<double>(kept) / static_cast<double>(raw_reports);
+  }
+};
+
+/// Holds the report vectors at each pipeline stage.
+class ReportStore {
+ public:
+  void set_stage(Stage stage, std::vector<race::RaceReport> reports);
+  const std::vector<race::RaceReport>& stage(Stage stage) const;
+  bool has_stage(Stage stage) const noexcept;
+
+  /// Renders one stage for logs/benches.
+  std::string render_stage(Stage stage) const;
+
+ private:
+  static constexpr std::size_t index_of(Stage stage) noexcept {
+    return static_cast<std::size_t>(stage);
+  }
+  std::vector<race::RaceReport> stages_[3];
+  bool present_[3] = {false, false, false};
+};
+
+}  // namespace owl::core

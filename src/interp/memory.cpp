@@ -1,0 +1,117 @@
+#include "interp/memory.hpp"
+
+#include <cassert>
+
+namespace owl::interp {
+
+namespace {
+// The first 4 KiB stay unmapped so stores through small integers (the
+// classic corrupted-pointer pattern) fault as NULL dereferences.
+constexpr Address kNullGuard = 4096;
+
+Address align_down(Address addr) noexcept { return addr & ~Address{7}; }
+}  // namespace
+
+std::string_view mem_fault_name(MemFault fault) noexcept {
+  switch (fault) {
+    case MemFault::kNone: return "none";
+    case MemFault::kNullDeref: return "null-deref";
+    case MemFault::kOutOfBounds: return "out-of-bounds";
+    case MemFault::kUseAfterFree: return "use-after-free";
+    case MemFault::kDoubleFree: return "double-free";
+    case MemFault::kBadFree: return "bad-free";
+  }
+  return "?";
+}
+
+Memory::Memory() : next_(kNullGuard) {}
+
+Address Memory::allocate(ObjectKind kind, std::uint64_t cells, Word init,
+                         std::string name, std::uint64_t owner_frame) {
+  assert(cells > 0);
+  MemObject obj;
+  obj.base = next_;
+  obj.cells = cells;
+  obj.kind = kind;
+  obj.name = std::move(name);
+  obj.owner_frame = owner_frame;
+  next_ += cells * 8 + 8;  // one-cell red zone between objects
+  for (std::uint64_t i = 0; i < cells; ++i) {
+    cells_[obj.base + i * 8] = init;
+  }
+  const Address base = obj.base;
+  objects_.emplace(base, std::move(obj));
+  return base;
+}
+
+MemFault Memory::free_heap(Address addr) {
+  MemObject* obj = find_object_mutable(addr);
+  if (obj == nullptr) {
+    return addr < kNullGuard ? MemFault::kNullDeref : MemFault::kBadFree;
+  }
+  if (obj->base != addr || obj->kind != ObjectKind::kHeap) {
+    return MemFault::kBadFree;
+  }
+  if (obj->freed) return MemFault::kDoubleFree;
+  obj->freed = true;
+  return MemFault::kNone;
+}
+
+void Memory::pop_frame(std::uint64_t owner_frame) {
+  for (auto& [base, obj] : objects_) {
+    if (obj.kind == ObjectKind::kStack && obj.owner_frame == owner_frame) {
+      obj.freed = true;
+    }
+  }
+}
+
+MemFault Memory::load(Address addr, Word& out) const {
+  addr = align_down(addr);
+  if (addr < kNullGuard) return MemFault::kNullDeref;
+  const MemObject* obj = find_object(addr);
+  if (obj == nullptr) return MemFault::kOutOfBounds;
+  out = load_raw(addr);
+  if (obj->freed) return MemFault::kUseAfterFree;
+  return MemFault::kNone;
+}
+
+MemFault Memory::store(Address addr, Word value) {
+  addr = align_down(addr);
+  if (addr < kNullGuard) return MemFault::kNullDeref;
+  MemObject* obj = find_object_mutable(addr);
+  if (obj == nullptr) return MemFault::kOutOfBounds;
+  store_raw(addr, value);
+  if (obj->freed) return MemFault::kUseAfterFree;
+  return MemFault::kNone;
+}
+
+Word Memory::load_raw(Address addr) const {
+  auto it = cells_.find(align_down(addr));
+  return it != cells_.end() ? it->second : 0;
+}
+
+void Memory::store_raw(Address addr, Word value) {
+  cells_[align_down(addr)] = value;
+}
+
+const MemObject* Memory::find_object(Address addr) const {
+  auto it = objects_.upper_bound(addr);
+  if (it == objects_.begin()) return nullptr;
+  --it;
+  return it->second.contains(addr) ? &it->second : nullptr;
+}
+
+MemObject* Memory::find_object_mutable(Address addr) {
+  auto it = objects_.upper_bound(addr);
+  if (it == objects_.begin()) return nullptr;
+  --it;
+  return it->second.contains(addr) ? &it->second : nullptr;
+}
+
+std::uint64_t Memory::cells_until_end(Address addr) const {
+  const MemObject* obj = find_object(align_down(addr));
+  if (obj == nullptr) return 0;
+  return (obj->end() - align_down(addr)) / 8;
+}
+
+}  // namespace owl::interp

@@ -1,0 +1,97 @@
+// Simulated shared memory for the MiniIR interpreter.
+//
+// A flat 64-bit address space of 8-byte cells, segmented into objects
+// (globals, stack allocations, heap allocations). Object bounds and
+// liveness are tracked so the machine can surface the memory-corruption
+// consequences the paper's attacks rely on — buffer overflows (Libsafe
+// Fig. 1, Apache Fig. 7), use-after-free (SSDB Fig. 6, Chrome) and NULL
+// dereferences (Linux Fig. 2) — as explicit security events rather than
+// undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace owl::interp {
+
+using Address = std::uint64_t;
+using Word = std::int64_t;
+
+enum class ObjectKind { kGlobal, kStack, kHeap };
+
+/// Outcome of a single memory operation.
+enum class MemFault {
+  kNone,
+  kNullDeref,      ///< address 0 or within the unmapped first page
+  kOutOfBounds,    ///< address not inside any object
+  kUseAfterFree,   ///< object was freed (heap) or popped (stack)
+  kDoubleFree,     ///< free() of an already-freed object
+  kBadFree,        ///< free() of a non-heap or interior pointer
+};
+
+std::string_view mem_fault_name(MemFault fault) noexcept;
+
+struct MemObject {
+  Address base = 0;
+  std::uint64_t cells = 0;
+  ObjectKind kind = ObjectKind::kHeap;
+  bool freed = false;
+  std::string name;          ///< global name or "" for anonymous
+  std::uint64_t owner_frame = 0;  ///< stack objects: frame serial for pop
+
+  Address end() const noexcept { return base + cells * 8; }
+  bool contains(Address addr) const noexcept {
+    return addr >= base && addr < end();
+  }
+};
+
+/// The address space. Not thread-safe by design: the interpreter serializes
+/// all accesses (that serialization *is* the simulated schedule).
+class Memory {
+ public:
+  Memory();
+
+  /// Allocates an object; cells are zero-initialized to `init`.
+  Address allocate(ObjectKind kind, std::uint64_t cells, Word init,
+                   std::string name = "", std::uint64_t owner_frame = 0);
+
+  /// Frees a heap object by its base address.
+  MemFault free_heap(Address addr);
+
+  /// Marks all stack objects of `owner_frame` dead (frame return).
+  void pop_frame(std::uint64_t owner_frame);
+
+  /// Reads the cell at `addr` (must be 8-byte aligned; unaligned addresses
+  /// are rounded down, matching a word-granularity race detector).
+  MemFault load(Address addr, Word& out) const;
+
+  /// Writes the cell at `addr`.
+  MemFault store(Address addr, Word value);
+
+  /// Like load/store but ignores the freed flag — used to model what an
+  /// attacker reads/writes through a dangling pointer after the fault has
+  /// already been recorded.
+  Word load_raw(Address addr) const;
+  void store_raw(Address addr, Word value);
+
+  /// Object containing `addr`, or nullptr.
+  const MemObject* find_object(Address addr) const;
+
+  /// Cells remaining in the object from `addr` to its end; 0 if unmapped.
+  std::uint64_t cells_until_end(Address addr) const;
+
+  std::size_t object_count() const noexcept { return objects_.size(); }
+  std::uint64_t bytes_allocated() const noexcept { return next_; }
+
+ private:
+  MemObject* find_object_mutable(Address addr);
+
+  // base address -> object; cell payloads in a parallel map keyed by address.
+  std::map<Address, MemObject> objects_;
+  std::map<Address, Word> cells_;
+  Address next_;
+};
+
+}  // namespace owl::interp

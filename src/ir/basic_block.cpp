@@ -1,0 +1,29 @@
+#include "ir/basic_block.hpp"
+
+#include <cassert>
+
+namespace owl::ir {
+
+Instruction* BasicBlock::append(std::unique_ptr<Instruction> instr) {
+  assert(instr != nullptr);
+  assert(terminator() == nullptr && "appending past a terminator");
+  instr->set_parent(this);
+  instrs_.push_back(std::move(instr));
+  return instrs_.back().get();
+}
+
+std::size_t BasicBlock::index_of(const Instruction* instr) const {
+  for (std::size_t i = 0; i < instrs_.size(); ++i) {
+    if (instrs_[i].get() == instr) return i;
+  }
+  assert(false && "instruction not in this block");
+  return instrs_.size();
+}
+
+std::vector<BasicBlock*> BasicBlock::successors() const {
+  const Instruction* term = terminator();
+  if (term == nullptr) return {};
+  return term->targets();
+}
+
+}  // namespace owl::ir

@@ -1,0 +1,42 @@
+// Static call graph over direct calls and thread-create edges.
+//
+// Used by the verifier (recursion diagnostics), the noise/LoC statistics,
+// and Algorithm 1's scalability accounting (functions reachable from a bug
+// call stack vs the whole module).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace owl::ir {
+
+class CallGraph {
+ public:
+  explicit CallGraph(const Module& module);
+
+  /// Direct callees (kCall) plus thread entries (kThreadCreate).
+  const std::unordered_set<Function*>& callees(const Function* f) const;
+  const std::unordered_set<Function*>& callers(const Function* f) const;
+
+  /// All call sites targeting `f`.
+  const std::vector<Instruction*>& call_sites(const Function* f) const;
+
+  /// Functions reachable from `roots` following callee edges (inclusive).
+  std::unordered_set<Function*> reachable_from(
+      const std::vector<Function*>& roots) const;
+
+  /// True if `f` can (transitively) reach itself.
+  bool is_recursive(const Function* f) const;
+
+ private:
+  std::unordered_map<const Function*, std::unordered_set<Function*>> callees_;
+  std::unordered_map<const Function*, std::unordered_set<Function*>> callers_;
+  std::unordered_map<const Function*, std::vector<Instruction*>> sites_;
+  std::unordered_set<Function*> empty_set_;
+  std::vector<Instruction*> empty_sites_;
+};
+
+}  // namespace owl::ir

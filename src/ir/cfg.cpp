@@ -1,0 +1,85 @@
+#include "ir/cfg.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <unordered_set>
+
+namespace owl::ir {
+
+Cfg::Cfg(const Function& function) : function_(&function) {
+  for (const auto& bb : function.blocks()) {
+    auto succs = bb->successors();
+    for (BasicBlock* s : succs) {
+      preds_[s].push_back(bb.get());
+    }
+    if (const Instruction* term = bb->terminator();
+        term != nullptr && term->opcode() == Opcode::kRet) {
+      exits_.push_back(bb.get());
+    }
+    succs_[bb.get()] = std::move(succs);
+    // Ensure every block has (possibly empty) entries in both maps.
+    preds_.try_emplace(bb.get());
+  }
+
+  // Iterative DFS post-order from the entry, then reverse.
+  std::vector<BasicBlock*> post;
+  std::unordered_set<const BasicBlock*> visited;
+  if (function.entry() != nullptr) {
+    struct Item {
+      BasicBlock* bb;
+      std::size_t next_succ;
+    };
+    std::vector<Item> stack{{function.entry(), 0}};
+    visited.insert(function.entry());
+    while (!stack.empty()) {
+      Item& top = stack.back();
+      const auto& succs = succs_[top.bb];
+      if (top.next_succ < succs.size()) {
+        BasicBlock* next = succs[top.next_succ++];
+        if (visited.insert(next).second) {
+          stack.push_back({next, 0});
+        }
+      } else {
+        post.push_back(top.bb);
+        stack.pop_back();
+      }
+    }
+  }
+  rpo_.assign(post.rbegin(), post.rend());
+  for (const auto& bb : function.blocks()) {
+    reachable_[bb.get()] = visited.contains(bb.get());
+    if (!visited.contains(bb.get())) {
+      rpo_.push_back(bb.get());  // keep unreachable blocks addressable
+    }
+  }
+  for (std::size_t i = 0; i < rpo_.size(); ++i) {
+    rpo_index_[rpo_[i]] = i;
+  }
+}
+
+const std::vector<BasicBlock*>& Cfg::successors(const BasicBlock* bb) const {
+  auto it = succs_.find(bb);
+  assert(it != succs_.end() && "block not in this CFG");
+  return it->second;
+}
+
+const std::vector<BasicBlock*>& Cfg::predecessors(const BasicBlock* bb) const {
+  auto it = preds_.find(bb);
+  assert(it != preds_.end() && "block not in this CFG");
+  return it->second;
+}
+
+std::size_t Cfg::rpo_index(const BasicBlock* bb) const {
+  auto it = rpo_index_.find(bb);
+  assert(it != rpo_index_.end() && "block not in this CFG");
+  return it->second;
+}
+
+bool Cfg::is_reachable(const BasicBlock* bb) const {
+  auto it = reachable_.find(bb);
+  assert(it != reachable_.end() && "block not in this CFG");
+  return it->second;
+}
+
+}  // namespace owl::ir

@@ -1,0 +1,49 @@
+// Control-flow graph utilities over a single Function.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace owl::ir {
+
+/// Precomputed CFG adjacency plus traversal orders. Invalidated by any
+/// mutation of the function; analyses construct it fresh (functions are
+/// immutable once built, per the Module ownership contract).
+class Cfg {
+ public:
+  explicit Cfg(const Function& function);
+
+  const Function& function() const noexcept { return *function_; }
+
+  const std::vector<BasicBlock*>& successors(const BasicBlock* bb) const;
+  const std::vector<BasicBlock*>& predecessors(const BasicBlock* bb) const;
+
+  /// Blocks in reverse post-order from the entry (unreachable blocks last,
+  /// in declaration order, so every block appears exactly once).
+  const std::vector<BasicBlock*>& reverse_post_order() const noexcept {
+    return rpo_;
+  }
+
+  /// Dense index of `bb` within reverse_post_order().
+  std::size_t rpo_index(const BasicBlock* bb) const;
+
+  /// Blocks ending in kRet (the CFG's exits).
+  const std::vector<BasicBlock*>& exit_blocks() const noexcept {
+    return exits_;
+  }
+
+  bool is_reachable(const BasicBlock* bb) const;
+
+ private:
+  const Function* function_;
+  std::unordered_map<const BasicBlock*, std::vector<BasicBlock*>> succs_;
+  std::unordered_map<const BasicBlock*, std::vector<BasicBlock*>> preds_;
+  std::unordered_map<const BasicBlock*, std::size_t> rpo_index_;
+  std::unordered_map<const BasicBlock*, bool> reachable_;
+  std::vector<BasicBlock*> rpo_;
+  std::vector<BasicBlock*> exits_;
+};
+
+}  // namespace owl::ir

@@ -1,0 +1,174 @@
+#include "ir/dominators.hpp"
+
+#include <cassert>
+#include <functional>
+#include <unordered_set>
+
+namespace owl::ir {
+namespace {
+
+/// Generic Cooper–Harvey–Kennedy over dense node indices.
+/// `order` must be a reverse post-order with the (virtual) root at index 0;
+/// `preds[i]` lists predecessor indices. Returns idom indices (root's idom
+/// is itself).
+std::vector<std::size_t> compute_idoms(
+    std::size_t node_count, const std::vector<std::vector<std::size_t>>& preds,
+    const std::vector<std::size_t>& rpo_of_node) {
+  constexpr std::size_t kUndef = SIZE_MAX;
+  std::vector<std::size_t> idom(node_count, kUndef);
+  idom[0] = 0;
+
+  // Nodes sorted by RPO index (excluding the root).
+  std::vector<std::size_t> by_rpo(node_count, kUndef);
+  for (std::size_t n = 0; n < node_count; ++n) {
+    if (rpo_of_node[n] != kUndef) by_rpo[rpo_of_node[n]] = n;
+  }
+
+  const auto intersect = [&](std::size_t a, std::size_t b) {
+    while (a != b) {
+      while (rpo_of_node[a] > rpo_of_node[b]) a = idom[a];
+      while (rpo_of_node[b] > rpo_of_node[a]) b = idom[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 1; i < node_count; ++i) {
+      const std::size_t node = by_rpo[i];
+      if (node == kUndef) continue;  // unreachable
+      std::size_t new_idom = kUndef;
+      for (std::size_t p : preds[node]) {
+        if (idom[p] == kUndef) continue;
+        new_idom = (new_idom == kUndef) ? p : intersect(new_idom, p);
+      }
+      if (new_idom != kUndef && idom[node] != new_idom) {
+        idom[node] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return idom;
+}
+
+}  // namespace
+
+DominatorTree::DominatorTree(const Cfg& cfg) {
+  // Dense indexing: 0 = entry, rest in RPO (reachable blocks only).
+  std::vector<BasicBlock*> nodes;
+  std::unordered_map<const BasicBlock*, std::size_t> index;
+  for (BasicBlock* bb : cfg.reverse_post_order()) {
+    if (!cfg.is_reachable(bb)) continue;
+    index[bb] = nodes.size();
+    nodes.push_back(bb);
+  }
+  if (nodes.empty()) return;
+
+  std::vector<std::vector<std::size_t>> preds(nodes.size());
+  std::vector<std::size_t> rpo_of_node(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    rpo_of_node[i] = i;  // nodes are already in RPO
+    for (BasicBlock* p : cfg.predecessors(nodes[i])) {
+      if (auto it = index.find(p); it != index.end()) {
+        preds[i].push_back(it->second);
+      }
+    }
+  }
+
+  const std::vector<std::size_t> idom =
+      compute_idoms(nodes.size(), preds, rpo_of_node);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    if (idom[i] != SIZE_MAX) idom_[nodes[i]] = nodes[idom[i]];
+  }
+  idom_[nodes[0]] = nullptr;
+}
+
+BasicBlock* DominatorTree::idom(const BasicBlock* bb) const {
+  auto it = idom_.find(bb);
+  return it != idom_.end() ? it->second : nullptr;
+}
+
+bool DominatorTree::dominates(const BasicBlock* a, const BasicBlock* b) const {
+  if (!idom_.contains(a) || !idom_.contains(b)) return false;
+  const BasicBlock* walk = b;
+  while (walk != nullptr) {
+    if (walk == a) return true;
+    walk = idom(walk);
+  }
+  return false;
+}
+
+PostDominatorTree::PostDominatorTree(const Cfg& cfg) {
+  // Reverse the CFG and hang all exits off a virtual root (index 0).
+  // Blocks that cannot reach any exit (infinite loops) stay undefined and
+  // conservatively post-dominate nothing.
+  std::vector<BasicBlock*> nodes{nullptr};  // index 0 = virtual exit
+  std::unordered_map<const BasicBlock*, std::size_t> index;
+
+  // Post-order DFS over the reversed CFG starting at the exits, so that a
+  // reverse post-order exists with the virtual root first.
+  std::vector<BasicBlock*> post;
+  std::unordered_set<const BasicBlock*> visited;
+  std::function<void(BasicBlock*)> dfs = [&](BasicBlock* bb) {
+    if (!visited.insert(bb).second) return;
+    for (BasicBlock* p : cfg.predecessors(bb)) dfs(p);
+    post.push_back(bb);
+  };
+  for (BasicBlock* exit : cfg.exit_blocks()) dfs(exit);
+
+  for (auto it = post.rbegin(); it != post.rend(); ++it) {
+    index[*it] = nodes.size();
+    nodes.push_back(*it);
+  }
+
+  std::vector<std::vector<std::size_t>> preds(nodes.size());
+  std::vector<std::size_t> rpo_of_node(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) rpo_of_node[i] = i;
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    BasicBlock* bb = nodes[i];
+    // Predecessor in reversed graph = successor in the original graph.
+    for (BasicBlock* s : cfg.successors(bb)) {
+      if (auto it = index.find(s); it != index.end()) {
+        preds[i].push_back(it->second);
+      }
+    }
+    if (const Instruction* term = bb->terminator();
+        term != nullptr && term->opcode() == Opcode::kRet) {
+      preds[i].push_back(0);  // exits flow to the virtual root
+    }
+  }
+
+  const std::vector<std::size_t> idom =
+      compute_idoms(nodes.size(), preds, rpo_of_node);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    reaches_exit_[nodes[i]] = true;
+    ipdom_[nodes[i]] = (idom[i] == SIZE_MAX || idom[i] == 0)
+                           ? nullptr
+                           : nodes[idom[i]];
+  }
+  for (const auto& bb : cfg.function().blocks()) {
+    reaches_exit_.try_emplace(bb.get(), false);
+  }
+}
+
+BasicBlock* PostDominatorTree::ipdom(const BasicBlock* bb) const {
+  auto it = ipdom_.find(bb);
+  return it != ipdom_.end() ? it->second : nullptr;
+}
+
+bool PostDominatorTree::post_dominates(const BasicBlock* a,
+                                       const BasicBlock* b) const {
+  auto a_known = reaches_exit_.find(a);
+  auto b_known = reaches_exit_.find(b);
+  if (a_known == reaches_exit_.end() || !a_known->second) return false;
+  if (b_known == reaches_exit_.end() || !b_known->second) return false;
+  const BasicBlock* walk = b;
+  while (walk != nullptr) {
+    if (walk == a) return true;
+    walk = ipdom(walk);
+  }
+  return false;
+}
+
+}  // namespace owl::ir

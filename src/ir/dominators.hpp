@@ -1,0 +1,47 @@
+// Dominator and post-dominator trees (Cooper–Harvey–Kennedy iterative
+// algorithm). Post-dominance feeds the control-dependence computation that
+// Algorithm 1's "i is control dependent on cbr" test requires.
+#pragma once
+
+#include <unordered_map>
+
+#include "ir/cfg.hpp"
+
+namespace owl::ir {
+
+/// Forward dominator tree rooted at the entry block. Unreachable blocks
+/// have no dominator information (dominates() returns false for them).
+class DominatorTree {
+ public:
+  explicit DominatorTree(const Cfg& cfg);
+
+  /// Immediate dominator; nullptr for the entry and unreachable blocks.
+  BasicBlock* idom(const BasicBlock* bb) const;
+
+  /// Reflexive dominance: a block dominates itself.
+  bool dominates(const BasicBlock* a, const BasicBlock* b) const;
+
+ private:
+  std::unordered_map<const BasicBlock*, BasicBlock*> idom_;
+};
+
+/// Post-dominator tree over the reversed CFG with a virtual exit that all
+/// kRet blocks reach (handles multi-exit functions; infinite loops
+/// post-dominate nothing, which is the conservative answer for control
+/// dependence).
+class PostDominatorTree {
+ public:
+  explicit PostDominatorTree(const Cfg& cfg);
+
+  /// Immediate post-dominator; nullptr if the virtual exit or unknown.
+  BasicBlock* ipdom(const BasicBlock* bb) const;
+
+  /// Reflexive post-dominance.
+  bool post_dominates(const BasicBlock* a, const BasicBlock* b) const;
+
+ private:
+  std::unordered_map<const BasicBlock*, BasicBlock*> ipdom_;
+  std::unordered_map<const BasicBlock*, bool> reaches_exit_;
+};
+
+}  // namespace owl::ir

@@ -1,0 +1,63 @@
+// MiniIR functions: a name, typed arguments, and an entry-first block list.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hpp"
+#include "ir/value.hpp"
+
+namespace owl::ir {
+
+class Module;
+
+class Function final : public Value {
+ public:
+  /// `is_internal` mirrors Algorithm 1's f.isInternal(): internal functions
+  /// have bodies OWL descends into; external ones are opaque boundaries
+  /// (libc and friends in the paper's setting).
+  Function(std::string name, Type return_type, Module* parent,
+           bool is_internal = true)
+      : Value(ValueKind::kFunction, Type::ptr(), std::move(name)),
+        return_type_(return_type),
+        parent_(parent),
+        internal_(is_internal) {}
+
+  Module* parent() const noexcept { return parent_; }
+  Type return_type() const noexcept { return return_type_; }
+
+  bool is_internal() const noexcept { return internal_; }
+  void set_internal(bool internal) noexcept { internal_ = internal; }
+
+  /// Declares a formal parameter; order of calls defines argument indices.
+  Argument* add_argument(Type type, std::string name);
+  const std::vector<std::unique_ptr<Argument>>& arguments() const noexcept {
+    return args_;
+  }
+  Argument* argument(std::size_t i) const { return args_.at(i).get(); }
+
+  /// Creates and appends a block; the first created block is the entry.
+  BasicBlock* add_block(std::string label);
+  const std::vector<std::unique_ptr<BasicBlock>>& blocks() const noexcept {
+    return blocks_;
+  }
+  BasicBlock* entry() const {
+    return blocks_.empty() ? nullptr : blocks_.front().get();
+  }
+  BasicBlock* find_block(std::string_view label) const noexcept;
+
+  bool has_body() const noexcept { return !blocks_.empty(); }
+
+  /// Total instruction count across all blocks (used for LoC-style stats).
+  std::size_t instruction_count() const noexcept;
+
+ private:
+  Type return_type_;
+  Module* parent_;
+  bool internal_;
+  std::vector<std::unique_ptr<Argument>> args_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+};
+
+}  // namespace owl::ir

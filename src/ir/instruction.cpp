@@ -1,0 +1,138 @@
+#include "ir/instruction.hpp"
+
+#include <array>
+#include <utility>
+
+#include "ir/basic_block.hpp"
+#include "ir/function.hpp"
+
+namespace owl::ir {
+namespace {
+
+struct OpName {
+  Opcode op;
+  std::string_view name;
+};
+
+constexpr std::array kOpNames{
+    OpName{Opcode::kAdd, "add"},
+    OpName{Opcode::kSub, "sub"},
+    OpName{Opcode::kMul, "mul"},
+    OpName{Opcode::kUDiv, "udiv"},
+    OpName{Opcode::kSDiv, "sdiv"},
+    OpName{Opcode::kAnd, "and"},
+    OpName{Opcode::kOr, "or"},
+    OpName{Opcode::kXor, "xor"},
+    OpName{Opcode::kShl, "shl"},
+    OpName{Opcode::kLShr, "lshr"},
+    OpName{Opcode::kICmp, "icmp"},
+    OpName{Opcode::kAlloca, "alloca"},
+    OpName{Opcode::kMalloc, "malloc"},
+    OpName{Opcode::kFree, "free"},
+    OpName{Opcode::kLoad, "load"},
+    OpName{Opcode::kStore, "store"},
+    OpName{Opcode::kGep, "gep"},
+    OpName{Opcode::kBr, "br"},
+    OpName{Opcode::kJmp, "jmp"},
+    OpName{Opcode::kPhi, "phi"},
+    OpName{Opcode::kCall, "call"},
+    OpName{Opcode::kCallPtr, "callptr"},
+    OpName{Opcode::kRet, "ret"},
+    OpName{Opcode::kLock, "lock"},
+    OpName{Opcode::kUnlock, "unlock"},
+    OpName{Opcode::kThreadCreate, "thread_create"},
+    OpName{Opcode::kThreadJoin, "thread_join"},
+    OpName{Opcode::kAtomicRMWAdd, "atomic_add"},
+    OpName{Opcode::kHbRelease, "hb_release"},
+    OpName{Opcode::kHbAcquire, "hb_acquire"},
+    OpName{Opcode::kInput, "input"},
+    OpName{Opcode::kIoDelay, "io_delay"},
+    OpName{Opcode::kYield, "yield"},
+    OpName{Opcode::kPrint, "print"},
+    OpName{Opcode::kStrCpy, "strcpy"},
+    OpName{Opcode::kMemCopy, "memcpy"},
+    OpName{Opcode::kSetUid, "setuid"},
+    OpName{Opcode::kFileAccess, "file_access"},
+    OpName{Opcode::kFileOpen, "file_open"},
+    OpName{Opcode::kFileWrite, "file_write"},
+    OpName{Opcode::kFork, "fork"},
+    OpName{Opcode::kEval, "eval"},
+};
+
+struct PredName {
+  CmpPredicate pred;
+  std::string_view name;
+};
+
+constexpr std::array kPredNames{
+    PredName{CmpPredicate::kEq, "eq"},   PredName{CmpPredicate::kNe, "ne"},
+    PredName{CmpPredicate::kSLt, "slt"}, PredName{CmpPredicate::kSLe, "sle"},
+    PredName{CmpPredicate::kSGt, "sgt"}, PredName{CmpPredicate::kSGe, "sge"},
+    PredName{CmpPredicate::kULt, "ult"}, PredName{CmpPredicate::kULe, "ule"},
+    PredName{CmpPredicate::kUGt, "ugt"}, PredName{CmpPredicate::kUGe, "uge"},
+};
+
+}  // namespace
+
+std::string_view opcode_name(Opcode op) noexcept {
+  for (const OpName& entry : kOpNames) {
+    if (entry.op == op) return entry.name;
+  }
+  return "?";
+}
+
+bool parse_opcode(std::string_view text, Opcode& out) noexcept {
+  for (const OpName& entry : kOpNames) {
+    if (entry.name == text) {
+      out = entry.op;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view predicate_name(CmpPredicate pred) noexcept {
+  for (const PredName& entry : kPredNames) {
+    if (entry.pred == pred) return entry.name;
+  }
+  return "?";
+}
+
+bool parse_predicate(std::string_view text, CmpPredicate& out) noexcept {
+  for (const PredName& entry : kPredNames) {
+    if (entry.name == text) {
+      out = entry.pred;
+      return true;
+    }
+  }
+  return false;
+}
+
+Function* Instruction::function() const noexcept {
+  return parent_ != nullptr ? parent_->parent() : nullptr;
+}
+
+std::string Instruction::summary() const {
+  std::string out;
+  if (!name().empty()) {
+    out += "%";
+    out += name();
+    out += " = ";
+  }
+  out += opcode_name(op_);
+  if (op_ == Opcode::kICmp) {
+    out += " ";
+    out += predicate_name(pred_);
+  }
+  const Function* f = function();
+  if (f != nullptr) {
+    out += " in ";
+    out += f->name();
+  }
+  out += " (";
+  out += loc_.to_string();
+  out += ")";
+  return out;
+}
+
+}  // namespace owl::ir

@@ -1,0 +1,70 @@
+#include "ir/loops.hpp"
+
+#include <algorithm>
+
+namespace owl::ir {
+
+LoopInfo::LoopInfo(const Function& function) {
+  const Cfg cfg(function);
+  const DominatorTree dom(cfg);
+
+  // A back edge latch->header exists when header dominates latch. The
+  // natural loop is header plus everything that reaches the latch without
+  // passing through the header.
+  for (const auto& bb : function.blocks()) {
+    if (!cfg.is_reachable(bb.get())) continue;
+    for (BasicBlock* succ : cfg.successors(bb.get())) {
+      if (!dom.dominates(succ, bb.get())) continue;
+      // Merge into an existing loop with the same header if present
+      // (multiple latches, e.g. `continue` statements).
+      Loop* loop = nullptr;
+      for (Loop& candidate : loops_) {
+        if (candidate.header == succ) {
+          loop = &candidate;
+          break;
+        }
+      }
+      if (loop == nullptr) {
+        loops_.push_back(Loop{succ, {succ}});
+        loop = &loops_.back();
+      }
+      // Walk predecessors from the latch until the header.
+      std::vector<BasicBlock*> work{bb.get()};
+      while (!work.empty()) {
+        BasicBlock* cur = work.back();
+        work.pop_back();
+        if (!loop->blocks.insert(cur).second) continue;
+        if (cur == succ) continue;
+        for (BasicBlock* pred : cfg.predecessors(cur)) {
+          work.push_back(pred);
+        }
+      }
+    }
+  }
+}
+
+const Loop* LoopInfo::innermost_loop(const BasicBlock* bb) const {
+  const Loop* best = nullptr;
+  for (const Loop& loop : loops_) {
+    if (!loop.contains(bb)) continue;
+    if (best == nullptr || loop.blocks.size() < best->blocks.size()) {
+      best = &loop;
+    }
+  }
+  return best;
+}
+
+bool LoopInfo::in_loop(const Instruction* instr) const {
+  return instr->parent() != nullptr &&
+         innermost_loop(instr->parent()) != nullptr;
+}
+
+bool LoopInfo::can_exit_loop(const Instruction* branch) const {
+  if (!branch->is_branch()) return false;
+  const Loop* loop = innermost_loop(branch->parent());
+  if (loop == nullptr) return false;
+  return std::any_of(branch->targets().begin(), branch->targets().end(),
+                     [&](BasicBlock* t) { return !loop->contains(t); });
+}
+
+}  // namespace owl::ir

@@ -1,0 +1,50 @@
+// Natural-loop detection (back edges via dominance).
+//
+// The adhoc-synchronization detector (§5.1) needs exactly two loop queries:
+// "is this racy read inside a loop?" and "does this branch break out of the
+// loop containing the read?". LoopInfo answers both.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/cfg.hpp"
+#include "ir/dominators.hpp"
+
+namespace owl::ir {
+
+/// One natural loop: the header plus all blocks on paths from latch(es)
+/// back to the header.
+struct Loop {
+  BasicBlock* header = nullptr;
+  std::unordered_set<BasicBlock*> blocks;
+
+  bool contains(const BasicBlock* bb) const {
+    return blocks.contains(const_cast<BasicBlock*>(bb));
+  }
+};
+
+class LoopInfo {
+ public:
+  /// Builds loop structure for `function`; uses its own Cfg/DominatorTree.
+  explicit LoopInfo(const Function& function);
+
+  const std::vector<Loop>& loops() const noexcept { return loops_; }
+
+  /// The innermost (smallest) loop containing `bb`, or nullptr.
+  const Loop* innermost_loop(const BasicBlock* bb) const;
+
+  /// True if `instr`'s block lies inside any loop.
+  bool in_loop(const Instruction* instr) const;
+
+  /// True if `branch` (a kBr in some loop) has at least one target outside
+  /// the innermost loop containing it — i.e. taking it can exit the loop.
+  bool can_exit_loop(const Instruction* branch) const;
+
+ private:
+  std::vector<Loop> loops_;
+};
+
+}  // namespace owl::ir

@@ -1,0 +1,23 @@
+// Textual MiniIR parser — inverse of ir/printer.hpp.
+//
+// Accepts the grammar documented in printer.hpp, with these liberties:
+//  - ';' starts a comment anywhere on a line;
+//  - blank lines are ignored;
+//  - operand references may be forward (resolved at end of function), which
+//    loops with phis require;
+//  - bare integers are i64 constants, `null` is the ptr constant 0.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "ir/module.hpp"
+#include "support/status.hpp"
+
+namespace owl::ir {
+
+/// Parses a whole module. On failure the Status message includes the
+/// 1-based source line of the offending text.
+Result<std::unique_ptr<Module>> parse_module(std::string_view text);
+
+}  // namespace owl::ir

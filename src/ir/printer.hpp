@@ -1,0 +1,31 @@
+// Textual MiniIR emission.
+//
+// The textual form serves the role of LLVM's .ll files: tests and examples
+// author modules as text, reports quote instructions in it, and the parser
+// (ir/parser.hpp) round-trips it. Grammar summary:
+//
+//   module  ::= "module" ident NL (global | func)*
+//   global  ::= "global" "@"ident "[" int "]" ("=" int)?
+//   func    ::= "func" "@"ident "(" params ")" "->" type ("external")? "{"
+//                 (label ":" NL | instr NL)* "}"
+//   instr   ::= ("%"ident "=")? mnemonic operands ("!"file":"line)?
+//   operand ::= "%"ident | "@"ident | int | "null" | label
+#pragma once
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace owl::ir {
+
+/// Renders a whole module. Instructions without explicit names get
+/// deterministic per-function temporaries (%t0, %t1, ...).
+std::string print_module(const Module& module);
+
+/// Renders one function in the same format.
+std::string print_function(const Function& function);
+
+/// Renders a single instruction (operands by name, no trailing newline).
+std::string print_instruction(const Instruction& instr);
+
+}  // namespace owl::ir

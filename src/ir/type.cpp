@@ -1,0 +1,35 @@
+#include "ir/type.hpp"
+
+namespace owl::ir {
+
+std::string_view Type::name() const noexcept {
+  switch (kind_) {
+    case TypeKind::kVoid: return "void";
+    case TypeKind::kI1: return "i1";
+    case TypeKind::kI64: return "i64";
+    case TypeKind::kPtr: return "ptr";
+  }
+  return "?";
+}
+
+bool parse_type(std::string_view text, Type& out) noexcept {
+  if (text == "void") {
+    out = Type::void_type();
+    return true;
+  }
+  if (text == "i1") {
+    out = Type::i1();
+    return true;
+  }
+  if (text == "i64") {
+    out = Type::i64();
+    return true;
+  }
+  if (text == "ptr") {
+    out = Type::ptr();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace owl::ir

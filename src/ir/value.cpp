@@ -1,0 +1,5 @@
+// The value hierarchy is header-only apart from the vtable anchor below
+// (keeps one vtable emission site, avoiding weak-vtable duplication).
+#include "ir/value.hpp"
+
+namespace owl::ir {}  // namespace owl::ir

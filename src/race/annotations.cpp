@@ -1,0 +1,10 @@
+#include "race/annotations.hpp"
+
+namespace owl::race {
+
+void AnnotationSet::merge(const AnnotationSet& other) {
+  releases_.insert(other.releases_.begin(), other.releases_.end());
+  acquires_.insert(other.acquires_.begin(), other.acquires_.end());
+}
+
+}  // namespace owl::race

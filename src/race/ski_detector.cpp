@@ -1,0 +1,27 @@
+#include "race/ski_detector.hpp"
+
+namespace owl::race {
+
+ScheduleExplorationResult explore_schedules(const MachineFactory& factory,
+                                            unsigned num_schedules,
+                                            std::uint64_t base_seed,
+                                            const AnnotationSet* annotations,
+                                            unsigned pct_depth) {
+  ScheduleExplorationResult result;
+  for (unsigned i = 0; i < num_schedules; ++i) {
+    std::unique_ptr<interp::Machine> machine = factory();
+    SkiDetector detector(annotations);
+    machine->add_observer(&detector);
+    interp::PctScheduler scheduler(base_seed + i, pct_depth,
+                                   /*expected_steps=*/20000);
+    const interp::RunResult run = machine->run(scheduler);
+    result.total_steps += run.steps;
+    ++result.schedules_run;
+    std::vector<RaceReport> reports = detector.take_reports();
+    if (!reports.empty()) ++result.schedules_with_races;
+    merge_reports(result.reports, std::move(reports));
+  }
+  return result;
+}
+
+}  // namespace owl::race

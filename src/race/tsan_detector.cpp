@@ -1,0 +1,214 @@
+#include "race/tsan_detector.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace owl::race {
+
+AccessRecord TsanDetector::make_record(const Access& access,
+                                       const interp::Machine& machine) const {
+  AccessRecord rec;
+  rec.tid = access.tid;
+  rec.instr = access.instr;
+  rec.addr = access.addr;
+  rec.value = access.value;
+  rec.is_write = access.is_write;
+  if (const interp::Thread* t = machine.thread(access.tid)) {
+    rec.stack = t->call_stack();
+  }
+  return rec;
+}
+
+void TsanDetector::on_access(const Access& access,
+                             const interp::Machine& machine) {
+  VectorClock& ct = clock(access.tid);
+  Shadow& shadow = shadow_[access.addr];
+
+  const bool annotated_release =
+      annotations_ != nullptr && annotations_->is_release_store(access.instr);
+  const bool annotated_acquire =
+      annotations_ != nullptr && annotations_->is_acquire_load(access.instr);
+
+  // Atomics and annotated accesses behave as synchronization: they carry
+  // happens-before edges through the address and are never themselves racy.
+  if (access.is_atomic || annotated_release || annotated_acquire) {
+    VectorClock& sync = sync_clocks_[access.addr];
+    if (access.is_atomic || annotated_acquire) {
+      ct.join(sync);  // acquire side
+    }
+    const AccessRecord rec = make_record(access, machine);
+    if (access.is_atomic || annotated_release) {
+      // Publish the store event, then advance past it.
+      if (access.is_write) {
+        shadow.write = ShadowAccess{access.tid, ct.get(access.tid), rec};
+        shadow.reads.clear();
+      }
+      sync.join(ct);  // release side
+      ct.increment(access.tid);
+    } else if (!access.is_write) {
+      feed_watchers(rec);
+    }
+    return;
+  }
+
+  const AccessRecord rec = make_record(access, machine);
+
+  if (access.is_write) {
+    if (shadow.write.has_value() && shadow.write->tid != access.tid &&
+        !VectorClock::epoch_leq(shadow.write->tid, shadow.write->epoch, ct)) {
+      record_race(shadow.write->rec, rec, machine);
+    }
+    for (const ShadowAccess& read : shadow.reads) {
+      if (read.tid != access.tid &&
+          !VectorClock::epoch_leq(read.tid, read.epoch, ct)) {
+        record_race(read.rec, rec, machine);
+      }
+    }
+    shadow.write = ShadowAccess{access.tid, ct.get(access.tid), rec};
+    shadow.reads.clear();
+    // A write sanitizes the watch list for this address (§6.3).
+    if (ski_watch_mode_) watched_.erase(access.addr);
+  } else {
+    if (shadow.write.has_value() && shadow.write->tid != access.tid &&
+        !VectorClock::epoch_leq(shadow.write->tid, shadow.write->epoch, ct)) {
+      record_race(shadow.write->rec, rec, machine);
+    }
+    // Keep at most one read epoch per thread.
+    bool replaced = false;
+    for (ShadowAccess& read : shadow.reads) {
+      if (read.tid == access.tid) {
+        read.epoch = ct.get(access.tid);
+        read.rec = rec;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      shadow.reads.push_back(
+          ShadowAccess{access.tid, ct.get(access.tid), rec});
+    }
+    feed_watchers(rec);
+  }
+}
+
+void TsanDetector::record_race(const AccessRecord& prior,
+                               const AccessRecord& current,
+                               const interp::Machine& machine) {
+  ++dynamic_races_;
+  RaceReport probe;
+  probe.first = prior;
+  probe.second = current;
+  const auto key = probe.key();
+
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++reports_[it->second].occurrences;
+    return;
+  }
+
+  probe.occurrences = 1;
+  if (const interp::MemObject* obj =
+          machine.memory().find_object(current.addr)) {
+    probe.object_name = obj->name;
+  }
+  const std::size_t idx = reports_.size();
+  index_.emplace(key, idx);
+
+  // Write-write races lack a corrupted read for Algorithm 1; watch the
+  // address so the first subsequent load can be attached (§6.3). SKI mode
+  // watches every racy address and logs all reads until sanitized.
+  const bool write_write = prior.is_write && current.is_write;
+  if (write_write || ski_watch_mode_) {
+    watched_[current.addr].push_back(idx);
+  }
+  reports_.push_back(std::move(probe));
+}
+
+void TsanDetector::feed_watchers(const AccessRecord& read) {
+  auto it = watched_.find(read.addr);
+  if (it == watched_.end()) return;
+  for (std::size_t idx : it->second) {
+    RaceReport& report = reports_[idx];
+    if (!report.supplemental_read.has_value()) {
+      report.supplemental_read = read;
+    }
+    if (ski_watch_mode_) {
+      report.watched_reads.push_back(read);
+    }
+  }
+  if (!ski_watch_mode_) {
+    watched_.erase(it);  // one supplemental read is all TSan mode needs
+  }
+}
+
+void TsanDetector::on_sync(const Sync& sync, const interp::Machine&) {
+  VectorClock& ct = clock(sync.tid);
+  switch (sync.kind) {
+    case SyncKind::kLockAcquire:
+      ct.join(lock_clocks_[sync.addr]);
+      break;
+    case SyncKind::kLockRelease:
+      lock_clocks_[sync.addr] = ct;
+      ct.increment(sync.tid);
+      break;
+    case SyncKind::kHbRelease:
+      sync_clocks_[sync.addr].join(ct);
+      ct.increment(sync.tid);
+      break;
+    case SyncKind::kHbAcquire:
+      ct.join(sync_clocks_[sync.addr]);
+      break;
+    case SyncKind::kThreadCreate: {
+      const auto child = static_cast<ThreadId>(sync.addr);
+      VectorClock& cc = clock(child);
+      cc.join(ct);
+      cc.increment(child);
+      ct.increment(sync.tid);
+      break;
+    }
+    case SyncKind::kThreadFinish:
+      finished_clocks_[sync.tid] = ct;
+      break;
+    case SyncKind::kThreadJoin: {
+      const auto target = static_cast<ThreadId>(sync.addr);
+      auto it = finished_clocks_.find(target);
+      if (it != finished_clocks_.end()) ct.join(it->second);
+      break;
+    }
+  }
+}
+
+std::vector<RaceReport> TsanDetector::take_reports() {
+  std::sort(reports_.begin(), reports_.end(), report_order);
+  index_.clear();
+  watched_.clear();
+  return std::move(reports_);
+}
+
+void merge_reports(std::vector<RaceReport>& into,
+                   std::vector<RaceReport>&& from) {
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> index;
+  for (std::size_t i = 0; i < into.size(); ++i) {
+    index.emplace(into[i].key(), i);
+  }
+  for (RaceReport& report : from) {
+    auto it = index.find(report.key());
+    if (it == index.end()) {
+      index.emplace(report.key(), into.size());
+      into.push_back(std::move(report));
+      continue;
+    }
+    RaceReport& existing = into[it->second];
+    existing.occurrences += report.occurrences;
+    if (!existing.supplemental_read.has_value()) {
+      existing.supplemental_read = std::move(report.supplemental_read);
+    }
+    existing.watched_reads.insert(
+        existing.watched_reads.end(),
+        std::make_move_iterator(report.watched_reads.begin()),
+        std::make_move_iterator(report.watched_reads.end()));
+  }
+  std::sort(into.begin(), into.end(), report_order);
+}
+
+}  // namespace owl::race

@@ -1,0 +1,88 @@
+// Happens-before (vector-clock) data-race detector — the TSan substrate.
+//
+// Subscribes to a Machine's memory and synchronization events and flags
+// conflicting accesses unordered by happens-before. Reports are deduplicated
+// by static instruction pair and carry both call stacks, matching the shape
+// OWL consumes (§6.3):
+//  - if an AnnotationSet is supplied, instructions annotated by the adhoc-
+//    sync stage behave as release-stores/acquire-loads (TSan markups);
+//  - for write-write races, the detector watches the address and attaches
+//    the first subsequent load as the report's supplemental read — the
+//    paper's modification so Algorithm 1 always has a corrupted read to
+//    start from;
+//  - in SKI mode (ski_detector.hpp) every subsequent read's call stack is
+//    logged until a write sanitizes the address.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/machine.hpp"
+#include "race/annotations.hpp"
+#include "race/report.hpp"
+#include "race/vector_clock.hpp"
+
+namespace owl::race {
+
+class TsanDetector : public interp::Observer {
+ public:
+  /// `annotations` may be nullptr (first detection run). `ski_watch_mode`
+  /// enables the §6.3 watch-list policy of logging all reads after a race.
+  explicit TsanDetector(const AnnotationSet* annotations = nullptr,
+                        bool ski_watch_mode = false)
+      : annotations_(annotations), ski_watch_mode_(ski_watch_mode) {}
+
+  void on_access(const Access& access,
+                 const interp::Machine& machine) override;
+  void on_sync(const Sync& sync, const interp::Machine& machine) override;
+
+  /// Deduplicated reports in stable (key) order.
+  std::vector<RaceReport> take_reports();
+  const std::vector<RaceReport>& reports() const noexcept { return reports_; }
+
+  /// Total dynamic race manifestations (>= reports().size()).
+  std::uint64_t dynamic_race_count() const noexcept { return dynamic_races_; }
+
+ private:
+  struct ShadowAccess {
+    ThreadId tid = 0;
+    std::uint64_t epoch = 0;
+    AccessRecord rec;
+  };
+  struct Shadow {
+    std::optional<ShadowAccess> write;
+    std::vector<ShadowAccess> reads;  ///< reads since the last write
+  };
+
+  VectorClock& clock(ThreadId tid) { return clocks_[tid]; }
+  AccessRecord make_record(const Access& access,
+                           const interp::Machine& machine) const;
+  void record_race(const AccessRecord& prior, const AccessRecord& current,
+                   const interp::Machine& machine);
+  void feed_watchers(const AccessRecord& read);
+
+  const AnnotationSet* annotations_;
+  bool ski_watch_mode_;
+
+  std::unordered_map<ThreadId, VectorClock> clocks_;
+  std::unordered_map<interp::Address, VectorClock> lock_clocks_;
+  std::unordered_map<interp::Address, VectorClock> sync_clocks_;
+  std::unordered_map<ThreadId, VectorClock> finished_clocks_;
+  std::unordered_map<interp::Address, Shadow> shadow_;
+
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> index_;
+  std::vector<RaceReport> reports_;
+  /// Addresses whose reports still await a supplemental read / SKI logging.
+  std::unordered_map<interp::Address, std::vector<std::size_t>> watched_;
+  std::uint64_t dynamic_races_ = 0;
+};
+
+/// Merges `from` into `into`, collapsing identical static pairs (summing
+/// occurrence counts, keeping the earliest supplemental read, concatenating
+/// SKI-watched reads). Used when aggregating multi-schedule explorations.
+void merge_reports(std::vector<RaceReport>& into,
+                   std::vector<RaceReport>&& from);
+
+}  // namespace owl::race

@@ -1,0 +1,38 @@
+#include "race/vector_clock.hpp"
+
+#include <algorithm>
+
+namespace owl::race {
+
+void VectorClock::join(const VectorClock& other) {
+  if (other.clocks_.size() > clocks_.size()) {
+    clocks_.resize(other.clocks_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.clocks_.size(); ++i) {
+    clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
+  }
+}
+
+bool VectorClock::leq(const VectorClock& other) const noexcept {
+  for (std::size_t i = 0; i < clocks_.size(); ++i) {
+    if (clocks_[i] > other.get(static_cast<ThreadId>(i))) return false;
+  }
+  return true;
+}
+
+bool VectorClock::empty() const noexcept {
+  return std::all_of(clocks_.begin(), clocks_.end(),
+                     [](std::uint64_t c) { return c == 0; });
+}
+
+std::string VectorClock::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < clocks_.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(clocks_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace owl::race

@@ -1,0 +1,62 @@
+// Vector clocks for happens-before race detection.
+//
+// The TSan substrate (DESIGN.md §2) uses full vector clocks rather than
+// FastTrack epochs: simulated executions are small enough that precision is
+// worth more than the constant-factor speedup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace owl::race {
+
+using ThreadId = std::uint32_t;
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  /// Component for `tid` (0 if never touched).
+  std::uint64_t get(ThreadId tid) const noexcept {
+    return tid < clocks_.size() ? clocks_[tid] : 0;
+  }
+
+  void set(ThreadId tid, std::uint64_t value) {
+    ensure(tid);
+    clocks_[tid] = value;
+  }
+
+  /// Advances this thread's own component.
+  void increment(ThreadId tid) {
+    ensure(tid);
+    ++clocks_[tid];
+  }
+
+  /// Pointwise maximum (join).
+  void join(const VectorClock& other);
+
+  /// True iff this clock happens-before-or-equals `other` (pointwise <=).
+  bool leq(const VectorClock& other) const noexcept;
+
+  /// True iff the event stamped (tid, epoch) happens-before `other`,
+  /// i.e. other has seen at least `epoch` of `tid`.
+  static bool epoch_leq(ThreadId tid, std::uint64_t epoch,
+                        const VectorClock& other) noexcept {
+    return epoch <= other.get(tid);
+  }
+
+  std::size_t size() const noexcept { return clocks_.size(); }
+  bool empty() const noexcept;
+
+  std::string to_string() const;
+
+ private:
+  void ensure(ThreadId tid) {
+    if (tid >= clocks_.size()) clocks_.resize(tid + 1, 0);
+  }
+
+  std::vector<std::uint64_t> clocks_;
+};
+
+}  // namespace owl::race

@@ -1,0 +1,35 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace owl {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_log_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  const std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[owl %s] %s\n", level_tag(level), message.c_str());
+}
+
+}  // namespace owl

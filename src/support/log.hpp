@@ -1,0 +1,44 @@
+// Minimal leveled logger.
+//
+// OWL's pipeline stages narrate what they prune and why; the logger keeps
+// that narration controllable so tests stay quiet and benches stay readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace owl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that will be emitted (default: kWarn).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line to stderr if `level` is at or above the global level.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Stream-style log statement builder; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define OWL_LOG(level) ::owl::detail::LogMessage(::owl::LogLevel::level)
+
+}  // namespace owl

@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in OWL (scheduler picks, PCT priority points,
+// noise-workload shapes) flows through a seeded Rng so that any run —
+// including a bug-manifesting one — can be replayed exactly from its seed.
+// This mirrors how SKI enumerates schedules deterministically.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace owl {
+
+/// SplitMix64-based generator: tiny, fast, and stable across platforms
+/// (std::mt19937 would also be stable, but SplitMix is simpler to reason
+/// about and trivially splittable for per-thread streams).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept
+      : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound == 0 yields 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Modulo bias is irrelevant for scheduling decisions; keep it simple.
+    return next() % bound;
+  }
+
+  /// Uniform value in [lo, hi] inclusive; requires lo <= hi.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Bernoulli draw with probability numer/denom.
+  bool chance(std::uint64_t numer, std::uint64_t denom) noexcept {
+    if (denom == 0) return false;
+    return next_below(denom) < numer;
+  }
+
+  /// Derives an independent stream (e.g. one per simulated thread).
+  Rng split() noexcept { return Rng(next() ^ 0xa5a5a5a5deadbeefULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace owl

@@ -1,0 +1,40 @@
+// Streaming summary statistics for bench measurements (trigger-effort
+// sweeps, analysis-time accounting for Table 3's A.C. column).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace owl {
+
+/// Accumulates samples and reports min/max/mean/stddev/percentiles.
+class SampleStats {
+ public:
+  void add(double sample);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  double min() const noexcept;
+  double max() const noexcept;
+  double mean() const noexcept;
+  double stddev() const noexcept;
+
+  /// p in [0,100]; nearest-rank percentile over the collected samples.
+  double percentile(double p) const;
+
+  /// Median, i.e. percentile(50).
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+
+  void ensure_sorted() const;
+};
+
+}  // namespace owl

@@ -1,0 +1,53 @@
+#include "support/status.hpp"
+
+namespace owl {
+
+std::string_view status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kFailedPrecondition: return "failed-precondition";
+    case StatusCode::kParseError: return "parse-error";
+    case StatusCode::kVerifyError: return "verify-error";
+    case StatusCode::kRuntimeError: return "runtime-error";
+    case StatusCode::kUnimplemented: return "unimplemented";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out(status_code_name(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status invalid_argument_error(std::string message) {
+  return {StatusCode::kInvalidArgument, std::move(message)};
+}
+Status not_found_error(std::string message) {
+  return {StatusCode::kNotFound, std::move(message)};
+}
+Status failed_precondition_error(std::string message) {
+  return {StatusCode::kFailedPrecondition, std::move(message)};
+}
+Status parse_error(std::string message) {
+  return {StatusCode::kParseError, std::move(message)};
+}
+Status verify_error(std::string message) {
+  return {StatusCode::kVerifyError, std::move(message)};
+}
+Status runtime_error(std::string message) {
+  return {StatusCode::kRuntimeError, std::move(message)};
+}
+Status unimplemented_error(std::string message) {
+  return {StatusCode::kUnimplemented, std::move(message)};
+}
+Status internal_error(std::string message) {
+  return {StatusCode::kInternal, std::move(message)};
+}
+
+}  // namespace owl

@@ -1,0 +1,114 @@
+// Lightweight status / expected-value error handling for OWL.
+//
+// OWL components (parsers, analyzers, verifiers) report recoverable errors
+// via Status / Result<T> rather than exceptions, following the project style
+// of explicit error propagation at module boundaries. Programmer errors
+// (broken invariants) still use assertions.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace owl {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kNotFound,          ///< named entity does not exist
+  kFailedPrecondition,///< operation not legal in current state
+  kParseError,        ///< textual IR could not be parsed
+  kVerifyError,       ///< IR failed structural verification
+  kRuntimeError,      ///< interpreter fault (trap, OOB, deadlock, ...)
+  kUnimplemented,     ///< feature intentionally not supported
+  kInternal,          ///< invariant violation detected at runtime
+};
+
+/// Human-readable name of a StatusCode ("ok", "parse-error", ...).
+std::string_view status_code_name(StatusCode code) noexcept;
+
+/// A success-or-error result with a message. Cheap to copy on success.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+  /// Constructs an error status; `code` must not be kOk.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "error status must carry an error code");
+  }
+
+  static Status ok() noexcept { return {}; }
+
+  bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// Renders "code: message" for logs and test failure output.
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Helpers mirroring the absl-style constructors used throughout OWL.
+Status invalid_argument_error(std::string message);
+Status not_found_error(std::string message);
+Status failed_precondition_error(std::string message);
+Status parse_error(std::string message);
+Status verify_error(std::string message);
+Status runtime_error(std::string message);
+Status unimplemented_error(std::string message);
+Status internal_error(std::string message);
+
+/// A value or an error Status. Accessing the value of an error result is a
+/// programmer error and asserts.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "Result from Status requires an error");
+  }
+
+  bool is_ok() const noexcept { return status_.is_ok(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  const Status& status() const noexcept { return status_; }
+
+  T& value() & {
+    assert(is_ok() && "value() on error Result");
+    return *value_;
+  }
+  const T& value() const& {
+    assert(is_ok() && "value() on error Result");
+    return *value_;
+  }
+  T&& value() && {
+    assert(is_ok() && "value() on error Result");
+    return std::move(*value_);
+  }
+
+  /// Returns the value or throws; convenient in tests and examples where an
+  /// error is fatal anyway.
+  T& value_or_die() & {
+    if (!is_ok()) throw std::runtime_error(status_.to_string());
+    return *value_;
+  }
+  T&& value_or_die() && {
+    if (!is_ok()) throw std::runtime_error(status_.to_string());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace owl

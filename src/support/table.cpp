@@ -1,0 +1,77 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace owl {
+
+TableFormatter::TableFormatter(std::vector<std::string> headers,
+                               std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  assert(!headers_.empty());
+  if (aligns_.empty()) {
+    aligns_.assign(headers_.size(), Align::kLeft);
+  }
+  assert(aligns_.size() == headers_.size());
+}
+
+void TableFormatter::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TableFormatter::add_rule() { rows_.push_back(Row{true, {}}); }
+
+std::string TableFormatter::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.is_rule) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto pad = [&](const std::string& text, std::size_t c) {
+    std::string out;
+    const std::size_t fill = widths[c] - text.size();
+    if (aligns_[c] == Align::kRight) out.append(fill, ' ');
+    out += text;
+    if (aligns_[c] == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  const auto render_rule = [&] {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      if (c != 0) line += "-+-";
+      line.append(widths[c], '-');
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) out += " | ";
+    out += pad(headers_[c], c);
+  }
+  out += '\n';
+  out += render_rule();
+  for (const Row& row : rows_) {
+    if (row.is_rule) {
+      out += render_rule();
+      continue;
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      if (c != 0) out += " | ";
+      out += pad(row.cells[c], c);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace owl

@@ -1,0 +1,45 @@
+// ASCII table rendering for the evaluation benches.
+//
+// Every bench binary regenerates one of the paper's tables; TableFormatter
+// renders rows in a fixed-width layout close to the paper's presentation so
+// shapes can be compared side by side with the published numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace owl {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows and renders an aligned ASCII table with a header rule.
+class TableFormatter {
+ public:
+  /// `headers` defines the column count for all subsequent rows.
+  explicit TableFormatter(std::vector<std::string> headers,
+                          std::vector<Align> aligns = {});
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator rule at this position.
+  void add_rule();
+
+  /// Renders the full table, one trailing newline included.
+  std::string render() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    bool is_rule = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace owl

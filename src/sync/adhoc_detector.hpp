@@ -1,0 +1,51 @@
+// Static adhoc-synchronization detector (paper §5.1).
+//
+// Developers write semaphore-like busy-waits — one thread loops reading a
+// shared flag until another thread stores a constant into it. TSan/SKI
+// cannot see the ordering these establish and flood the report stream with
+// them. Given a race report, this detector re-derives the paper's
+// classification directly from the report's runtime information:
+//   1. the racing *read* sits in a loop;
+//   2. an intra-procedural forward data/control-dependence walk from the
+//      read reaches a branch;
+//   3. that branch can break out of the loop;
+//   4. the racing *write* stores a constant.
+// Compared to SyncFinder's whole-program search, starting from the report
+// is "much simpler and more precise" — which is the point the paper makes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "ir/loops.hpp"
+#include "ir/module.hpp"
+#include "race/report.hpp"
+
+namespace owl::sync {
+
+struct AdhocSyncResult {
+  bool is_adhoc = false;
+  const ir::Instruction* read = nullptr;        ///< busy-wait load
+  const ir::Instruction* write = nullptr;       ///< constant flag store
+  const ir::Instruction* exit_branch = nullptr; ///< loop-exiting branch
+  std::string reason;  ///< why the classification succeeded / failed
+};
+
+class AdhocSyncDetector {
+ public:
+  explicit AdhocSyncDetector(const ir::Module& module) : module_(&module) {}
+
+  /// Classifies one race report. Pure function of the report + IR.
+  AdhocSyncResult classify(const race::RaceReport& report) const;
+
+ private:
+  const ir::LoopInfo& loop_info(const ir::Function* function) const;
+
+  const ir::Module* module_;
+  mutable std::unordered_map<const ir::Function*,
+                             std::unique_ptr<ir::LoopInfo>>
+      loop_cache_;
+};
+
+}  // namespace owl::sync

@@ -1,0 +1,30 @@
+// Automatic TSan-markup annotation of detected adhoc synchronizations.
+//
+// Pipeline step (2) of Fig. 3: classify every report, mark the adhoc ones,
+// and emit the AnnotationSet that makes the detectors treat the busy-wait
+// pair as release/acquire when the program is re-run.
+#pragma once
+
+#include <vector>
+
+#include "race/annotations.hpp"
+#include "race/report.hpp"
+#include "sync/adhoc_detector.hpp"
+
+namespace owl::sync {
+
+struct AnnotationOutcome {
+  race::AnnotationSet annotations;
+  /// Unique static adhoc synchronizations found (the paper reports 22
+  /// across its targets; our Table 3 column "A.S.").
+  std::size_t unique_adhoc_syncs = 0;
+  /// Reports classified adhoc (flagged in-place on the input vector too).
+  std::size_t adhoc_reports = 0;
+};
+
+/// Classifies `reports` against `module`, sets RaceReport::adhoc_sync on
+/// the matching ones, and returns the annotations for the re-run.
+AnnotationOutcome annotate_adhoc_syncs(const ir::Module& module,
+                                       std::vector<race::RaceReport>& reports);
+
+}  // namespace owl::sync

@@ -1,0 +1,94 @@
+#include "sync/syncfinder.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/loops.hpp"
+
+namespace owl::sync {
+namespace {
+
+/// Globals whose loads (transitively, through registers, intra-procedure)
+/// feed `value`.
+void collect_source_globals(
+    const ir::Value* value,
+    std::unordered_set<const ir::GlobalVariable*>& out,
+    std::unordered_set<const ir::Value*>& seen,
+    std::vector<const ir::Instruction*>& loads) {
+  if (value == nullptr || !seen.insert(value).second) return;
+  const auto* instr = dynamic_cast<const ir::Instruction*>(value);
+  if (instr == nullptr) return;
+  if (instr->opcode() == ir::Opcode::kLoad) {
+    if (const auto* global =
+            dynamic_cast<const ir::GlobalVariable*>(instr->operand(0))) {
+      out.insert(global);
+      loads.push_back(instr);
+    }
+    return;
+  }
+  for (const ir::Value* op : instr->operands()) {
+    collect_source_globals(op, out, seen, loads);
+  }
+  for (const ir::Value* v : instr->phi_values()) {
+    collect_source_globals(v, out, seen, loads);
+  }
+}
+
+}  // namespace
+
+SyncFinderResult syncfinder_scan(const ir::Module& module) {
+  SyncFinderResult result;
+
+  // Pass 1: constant stores per global, indexed for the pairing step.
+  struct ConstStore {
+    const ir::Instruction* store;
+    const ir::Function* function;
+  };
+  std::unordered_map<const ir::GlobalVariable*, std::vector<ConstStore>>
+      const_stores;
+  for (const auto& f : module.functions()) {
+    for (const auto& bb : f->blocks()) {
+      for (const auto& instr : bb->instructions()) {
+        if (instr->opcode() != ir::Opcode::kStore) continue;
+        if (!instr->operand(0)->is_constant()) continue;
+        if (const auto* global = dynamic_cast<const ir::GlobalVariable*>(
+                instr->operand(1))) {
+          const_stores[global].push_back({instr.get(), f.get()});
+        }
+      }
+    }
+  }
+
+  // Pass 2: loop-exit branches fed by loads of those globals.
+  for (const auto& f : module.functions()) {
+    if (!f->has_body()) continue;
+    const ir::LoopInfo loops(*f);
+    if (loops.loops().empty()) continue;
+    for (const auto& bb : f->blocks()) {
+      const ir::Instruction* term = bb->terminator();
+      if (term == nullptr || !term->is_branch()) continue;
+      if (!loops.in_loop(term) || !loops.can_exit_loop(term)) continue;
+
+      std::unordered_set<const ir::GlobalVariable*> flags;
+      std::unordered_set<const ir::Value*> seen;
+      std::vector<const ir::Instruction*> loads;
+      collect_source_globals(term->operand(0), flags, seen, loads);
+
+      for (const ir::Instruction* load : loads) {
+        const auto* flag =
+            dynamic_cast<const ir::GlobalVariable*>(load->operand(0));
+        auto it = const_stores.find(flag);
+        if (it == const_stores.end()) continue;
+        for (const ConstStore& store : it->second) {
+          if (store.function == f.get()) continue;  // setter must be remote
+          result.pairs.push_back({store.store, load, flag});
+          result.annotations.add_release_store(store.store);
+          result.annotations.add_acquire_load(load);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace owl::sync

@@ -1,0 +1,40 @@
+// SyncFinder-like purely static adhoc-synchronization identification.
+//
+// The paper contrasts its report-guided classifier (§5.1) with SyncFinder
+// [Xiong et al., OSDI'10], which "finds the matching read and write
+// instruction by statically searching program code"; OWL's approach
+// "leverages the actual runtime information from the race reports, so ours
+// are much simpler and more precise." This module implements the static
+// search so the comparison is executable (bench/ext_syncfinder):
+//
+//   for every loop-exit branch whose condition is (intra-procedurally)
+//   computed from a load of a global, pair that load with every constant
+//   store to the same global in another function.
+//
+// Being blind to runtime behaviour, it also matches loops that *work* while
+// polling — annotating those prunes real attacks (SSDB's Fig. 6 shutdown
+// loop is exactly such a false match).
+#pragma once
+
+#include <vector>
+
+#include "ir/module.hpp"
+#include "race/annotations.hpp"
+
+namespace owl::sync {
+
+struct SyncFinderPair {
+  const ir::Instruction* write = nullptr;  ///< constant store to the flag
+  const ir::Instruction* read = nullptr;   ///< in-loop load of the flag
+  const ir::GlobalVariable* flag = nullptr;
+};
+
+struct SyncFinderResult {
+  std::vector<SyncFinderPair> pairs;
+  race::AnnotationSet annotations;
+};
+
+/// Scans the whole module statically (no reports, no runtime evidence).
+SyncFinderResult syncfinder_scan(const ir::Module& module);
+
+}  // namespace owl::sync

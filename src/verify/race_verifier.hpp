@@ -1,0 +1,62 @@
+// Dynamic race verifier (paper §5.2).
+//
+// Checks whether a reduced race report is a *real* race by catching it "in
+// the racing moment": thread-specific breakpoints (our LLDB substrate) park
+// each racing thread right before its racing instruction; when both are
+// suspended and about to touch the same address, the race is verified and
+// security hints are extracted — the racing instructions, the values about
+// to be read/written, the variable's type, and whether a NULL write or an
+// uninitialized read is in play.
+//
+// Livelock (a thread needed for progress is the suspended one) is resolved
+// by temporarily releasing one triggered breakpoint, exactly as described.
+// Some races cannot be reproduced on every schedule, so verification makes
+// several seeded attempts before giving up (§5.2's two miss cases).
+#pragma once
+
+#include <string>
+
+#include "race/report.hpp"
+#include "race/ski_detector.hpp"  // MachineFactory
+
+namespace owl::verify {
+
+struct RaceVerifyResult {
+  bool verified = false;
+  unsigned attempts = 0;
+  /// Values captured in the racing moment.
+  interp::Word value_about_to_read = 0;
+  interp::Word value_about_to_write = 0;
+  bool writes_null = false;        ///< NULL-pointer-deref hint
+  bool reads_uninitialized = false;///< read observes a never-written cell
+  std::string variable_type;       ///< static type of the racy operand
+  std::string security_hint;       ///< the rendered §5.2 hint block
+};
+
+class RaceVerifier {
+ public:
+  struct Options {
+    unsigned max_attempts = 8;
+    std::uint64_t base_seed = 0x5eed;
+    std::uint64_t livelock_release_after = 1;  ///< releases before retrying
+  };
+
+  RaceVerifier() : RaceVerifier(Options{}) {}
+  explicit RaceVerifier(Options options) : options_(options) {}
+
+  /// Verifies one report against fresh machines from `factory`. On success
+  /// the report's `verified` flag and `security_hint` are filled in.
+  RaceVerifyResult verify(race::RaceReport& report,
+                          const race::MachineFactory& factory) const;
+
+ private:
+  /// Reproduction-based verification for atomicity-violation reports
+  /// (their accesses may be lock-protected, so the breakpoint choreography
+  /// does not apply; CTrigger-style re-manifestation does).
+  RaceVerifyResult verify_atomicity(race::RaceReport& report,
+                                    const race::MachineFactory& factory) const;
+
+  Options options_;
+};
+
+}  // namespace owl::verify

@@ -1,0 +1,57 @@
+#include "vuln/hint.hpp"
+
+#include "ir/printer.hpp"
+#include "support/strings.hpp"
+
+namespace owl::vuln {
+
+std::string render_hint(const ExploitReport& exploit) {
+  std::string out;
+  out += exploit.dep == DepKind::kControl
+             ? "---- Ctrl Dependent Vulnerability ----\n"
+             : "---- Data Dependent Vulnerability ----\n";
+  out += "type: ";
+  out += site_type_name(exploit.type);
+  if (!exploit.custom_site_name.empty()) {
+    out += " (" + exploit.custom_site_name + ")";
+  }
+  out += "\n";
+  for (const ir::Instruction* br : exploit.branches) {
+    out += "  branch: " + ir::print_instruction(*br) + "  (" +
+           br->loc().to_string() + ")\n";
+  }
+  if (!exploit.propagation.empty()) {
+    out += "  propagation chain:\n";
+    for (const ir::Instruction* step : exploit.propagation) {
+      out += "    " + ir::print_instruction(*step) + "  (" +
+             step->loc().to_string() + ")\n";
+    }
+  }
+  out += "Vulnerable Site Location: ";
+  if (exploit.site != nullptr) {
+    out += std::string(ir::opcode_name(exploit.site->opcode())) + " in " +
+           (exploit.function != nullptr ? exploit.function->name() : "<?>") +
+           " (" + exploit.site->loc().to_string() + ")";
+  }
+  out += "\n";
+  return out;
+}
+
+std::string render_analysis(const VulnAnalysis& analysis) {
+  std::string out;
+  if (analysis.start != nullptr) {
+    out += "corrupted read: " + ir::print_instruction(*analysis.start) +
+           "  (" + analysis.start->loc().to_string() + ")\n";
+  }
+  for (const ExploitReport& exploit : analysis.exploits) {
+    out += render_hint(exploit);
+  }
+  out += str_format(
+      "analysis: %llu function visit(s), %llu instruction visit(s), %.3fs\n",
+      static_cast<unsigned long long>(analysis.stats.functions_visited),
+      static_cast<unsigned long long>(analysis.stats.instructions_visited),
+      analysis.stats.seconds);
+  return out;
+}
+
+}  // namespace owl::vuln

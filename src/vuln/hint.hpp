@@ -1,0 +1,24 @@
+// Vulnerable-input-hint rendering (the paper's Fig. 5 output format).
+//
+// OWL does not generate concrete inputs (the paper delegates that to
+// symbolic execution); it prints the corrupted branches and the vulnerable
+// site so a developer — or our exploit drivers — can infer which inputs
+// steer execution down the vulnerable path.
+#pragma once
+
+#include <string>
+
+#include "vuln/analyzer.hpp"
+
+namespace owl::vuln {
+
+/// One exploit hint, e.g. for the Libsafe attack:
+///   ---- Ctrl Dependent Vulnerability ----
+///   br %t5, overflow, do_copy  (intercept.c:164)
+///   Vulnerable Site Location: strcpy (intercept.c:165)
+std::string render_hint(const ExploitReport& exploit);
+
+/// All hints of an analysis plus its cost line.
+std::string render_analysis(const VulnAnalysis& analysis);
+
+}  // namespace owl::vuln

@@ -1,0 +1,83 @@
+// The five explicit vulnerable-site types (paper §3.2).
+//
+// "Although the consequences of concurrency attacks are miscellaneous,
+// these consequences are triggered by five explicit types of vulnerable
+// sites": memory operations (strcpy), NULL pointer dereferences, privilege
+// operations (setuid), file operations (access/open) and process-forking
+// operations (eval/fork). The types are independent, so adding more is a
+// one-line change here.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace owl::vuln {
+
+enum class SiteType {
+  kMemoryOp,         ///< strcpy/memcpy-style unchecked copies
+  kNullPtrDeref,     ///< data load/store through a corrupted pointer
+  kNullFuncPtrDeref, ///< indirect call through a corrupted function pointer
+  kPrivilegeOp,      ///< setuid and friends
+  kFileOp,           ///< access()/open()/write() on files
+  kProcessFork,      ///< fork()/eval() launching attacker-visible work
+  kPointerAssign,    ///< a pointer-valued store — the Apache-46215 balancer
+                     ///< "mycandidate = worker" site (paper §8.4 reports a
+                     ///< pointer assignment control-dependent on the
+                     ///< corrupted branch)
+  kCustom,           ///< user-registered site (§7.2: "by adding new
+                     ///< vulnerability and failure sites, OWL can be applied
+                     ///< to flagging bugs that cause severe consequences")
+};
+
+std::string_view site_type_name(SiteType type) noexcept;
+
+/// Context-free classification: instructions that are vulnerable sites by
+/// opcode alone (reachable under corrupted *control* flow is enough, like
+/// the SSDB db->Write pointer call at Fig. 6 line 347).
+std::optional<SiteType> classify_site(const ir::Instruction& instr) noexcept;
+
+/// Context-sensitive classification: loads/stores become NULL-pointer-deref
+/// sites when their *pointer operand* is corrupted (pure control dependence
+/// on a plain load would flag every memory access, which is noise).
+std::optional<SiteType> classify_pointer_deref(
+    const ir::Instruction& instr, bool pointer_operand_corrupted) noexcept;
+
+/// Index of the pointer operand for deref classification (load: 0,
+/// store: 1, callptr: 0); SIZE_MAX when not a dereference.
+std::size_t pointer_operand_index(const ir::Instruction& instr) noexcept;
+
+/// A user-defined site class: the §7.2 extension point. "Our study found
+/// that these vulnerable sites have independent consequences to each other,
+/// thus more types can be easily added."
+struct CustomSite {
+  std::string name;  ///< label shown in reports, e.g. "audit-log-write"
+  std::function<bool(const ir::Instruction&)> match;
+};
+
+/// Holds the user's additional site classes; the analyzer consults it after
+/// the built-in taxonomy. Empty by default.
+class SiteRegistry {
+ public:
+  void add(CustomSite site) { sites_.push_back(std::move(site)); }
+
+  /// First matching custom site, or nullptr.
+  const CustomSite* match(const ir::Instruction& instr) const {
+    for (const CustomSite& site : sites_) {
+      if (site.match && site.match(instr)) return &site;
+    }
+    return nullptr;
+  }
+
+  bool empty() const noexcept { return sites_.empty(); }
+  std::size_t size() const noexcept { return sites_.size(); }
+
+ private:
+  std::vector<CustomSite> sites_;
+};
+
+}  // namespace owl::vuln

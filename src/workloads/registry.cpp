@@ -1,0 +1,35 @@
+#include "workloads/registry.hpp"
+
+#include <stdexcept>
+
+namespace owl::workloads {
+
+std::vector<Workload> make_all(const NoiseProfile& profile) {
+  std::vector<Workload> all;
+  all.push_back(make_apache_log(profile));
+  all.push_back(make_apache_balancer(profile));
+  all.push_back(make_mysql_flush(profile));
+  all.push_back(make_mysql_setpass(profile));
+  all.push_back(make_ssdb(profile));
+  all.push_back(make_chrome(profile));
+  all.push_back(make_libsafe(profile));
+  all.push_back(make_linux(profile));
+  all.push_back(make_memcached(profile));
+  return all;
+}
+
+Workload make_by_name(std::string_view name, const NoiseProfile& profile) {
+  if (name == "libsafe") return make_libsafe(profile);
+  if (name == "linux") return make_linux(profile);
+  if (name == "mysql-flush") return make_mysql_flush(profile);
+  if (name == "mysql-setpass") return make_mysql_setpass(profile);
+  if (name == "ssdb") return make_ssdb(profile);
+  if (name == "apache-log") return make_apache_log(profile);
+  if (name == "apache-balancer") return make_apache_balancer(profile);
+  if (name == "chrome") return make_chrome(profile);
+  if (name == "memcached") return make_memcached(profile);
+  if (name == "bank-atomicity") return make_bank_atomicity(profile);
+  throw std::invalid_argument("unknown workload: " + std::string(name));
+}
+
+}  // namespace owl::workloads

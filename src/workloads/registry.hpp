@@ -1,0 +1,57 @@
+// Registry of all modelled target programs (paper Tables 1–4).
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace owl::workloads {
+
+/// Libsafe-2.0-16 — dying-flag race bypasses stack_check, strcpy overflow,
+/// code injection (paper Fig. 1, §4.3).
+Workload make_libsafe(const NoiseProfile& profile = {});
+
+/// Linux kernel (SKI mode): uselib()/msync() f_op NULL-function-pointer
+/// race (2.6.10, Fig. 2) plus a 2.6.29-style privilege-escalation race.
+Workload make_linux(const NoiseProfile& profile = {});
+
+/// MySQL-5.0.27 — "FLUSH PRIVILEGES" ACL-cache race, privilege escalation
+/// (bug 24988, §3.1 Finding III).
+Workload make_mysql_flush(const NoiseProfile& profile = {});
+
+/// MySQL-5.1.35 — "SET PASSWORD" double free.
+Workload make_mysql_setpass(const NoiseProfile& profile = {});
+
+/// SSDB-1.9.2 — BinlogQueue shutdown use-after-free, CVE-2016-1000324
+/// (paper Fig. 6; previously unknown, found by OWL).
+Workload make_ssdb(const NoiseProfile& profile = {});
+
+/// Apache-2.0.48 — buffered-log outcnt race: HTML integrity violation via
+/// a one-cell fd overflow (bug 25520, Fig. 7) plus the 2.0.48 double free.
+Workload make_apache_log(const NoiseProfile& profile = {});
+
+/// Apache-2.2 — load-balancer busy-counter underflow DoS (bug 46215,
+/// Fig. 8; previously unknown consequence, found by OWL).
+Workload make_apache_balancer(const NoiseProfile& profile = {});
+
+/// Chrome-6.0.472.58 — JS console.profile use-after-free.
+Workload make_chrome(const NoiseProfile& profile = {});
+
+/// Memcached — benign-race-only target (Table 3 control row).
+Workload make_memcached(const NoiseProfile& profile = {});
+
+/// Extension target (paper §8.3 future work, implemented): a check-then-act
+/// banking double-spend where every access is lock-protected — invisible to
+/// happens-before detection, caught by the atomicity-violation detector.
+/// Not part of make_all(): the paper's tables do not include it.
+Workload make_bank_atomicity(const NoiseProfile& profile = {});
+
+/// All workloads in the paper's table order.
+std::vector<Workload> make_all(const NoiseProfile& profile = {});
+
+/// Lookup by name ("libsafe", "linux", "mysql-flush", "mysql-setpass",
+/// "ssdb", "apache-log", "apache-balancer", "chrome", "memcached",
+/// "bank-atomicity").
+Workload make_by_name(std::string_view name, const NoiseProfile& profile = {});
+
+}  // namespace owl::workloads

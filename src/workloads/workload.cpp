@@ -1,0 +1,60 @@
+#include "workloads/workload.hpp"
+
+namespace owl::workloads {
+
+std::unique_ptr<interp::Machine> Workload::make_machine(
+    const std::vector<interp::Word>& inputs) const {
+  interp::MachineOptions options;
+  options.inputs = inputs;
+  options.max_steps = max_steps;
+  options.authorized_root = authorized_root;
+  auto machine = std::make_unique<interp::Machine>(*module, options);
+  machine->start(entry);
+  return machine;
+}
+
+race::MachineFactory Workload::factory(bool use_exploit_inputs) const {
+  // Capture by value: the factory must outlive this Workload's stack frame
+  // but shares the module via shared_ptr.
+  const std::shared_ptr<ir::Module> mod = module;
+  const std::vector<interp::Word> inputs =
+      use_exploit_inputs ? exploit_inputs : testing_inputs;
+  const ir::Function* entry_fn = entry;
+  const std::uint64_t steps = max_steps;
+  const bool root = authorized_root;
+  return [mod, inputs, entry_fn, steps, root] {
+    interp::MachineOptions options;
+    options.inputs = inputs;
+    options.max_steps = steps;
+    options.authorized_root = root;
+    auto machine = std::make_unique<interp::Machine>(*mod, options);
+    machine->start(entry_fn);
+    return machine;
+  };
+}
+
+core::PipelineTarget Workload::target(std::uint64_t seed) const {
+  core::PipelineTarget t;
+  t.name = name;
+  t.module = module.get();
+  t.factory = factory(/*use_exploit_inputs=*/false);
+  t.exploit_factory = factory(/*use_exploit_inputs=*/true);
+  t.thread_order = thread_order;
+  t.detector = detector;
+  t.detection_schedules = detection_schedules;
+  t.seed = seed;
+  return t;
+}
+
+core::PipelineOptions Workload::pipeline_options() const {
+  core::PipelineOptions options;
+  if (!dynamic_verifiers_supported) {
+    // The paper could not run its LLDB-based verifiers on kernels (§8.3);
+    // the same applies to our SKI-mode kernel targets for fidelity.
+    options.enable_race_verifier = false;
+    options.enable_vuln_verifier = false;
+  }
+  return options;
+}
+
+}  // namespace owl::workloads

@@ -1,0 +1,90 @@
+// Workload models — the "target programs" of the evaluation.
+//
+// The paper evaluates OWL on old vulnerable builds of Apache, MySQL, SSDB,
+// Chrome, Libsafe and Linux. Those builds are unavailable offline, so each
+// workload here is a MiniIR transcription of the studied bug (taken from
+// the paper's own code listings) embedded in a realistic multithreaded
+// server loop, plus benign-race/adhoc-sync background noise sized to give
+// the detector report volumes the same *shape* as the paper's Table 1/3.
+// See DESIGN.md §2 for the substitution argument.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "interp/machine.hpp"
+#include "ir/module.hpp"
+
+namespace owl::workloads {
+
+/// Scales the synthetic background noise. 1.0 reproduces the paper-shaped
+/// ratios at ~1/10 the absolute magnitude (documented in EXPERIMENTS.md);
+/// tests use small values for speed.
+struct NoiseProfile {
+  double scale = 1.0;
+};
+
+struct Workload {
+  // --- identity (Table 1 / Table 4 columns) ---
+  std::string name;          ///< versioned, e.g. "apache-2.0.48"
+  std::string program;       ///< study program name, e.g. "Apache"
+  std::string description;
+  std::string vuln_type;     ///< Table 4 "Vul. Type"
+  std::string subtle_inputs; ///< Table 4 "Subtle Inputs"
+  std::uint64_t paper_loc = 0;       ///< LoC of the real program (Table 1)
+  std::uint64_t paper_raw_reports = 0;  ///< paper's R.R. for comparison
+
+  // --- the modelled program ---
+  std::shared_ptr<ir::Module> module;
+  const ir::Function* entry = nullptr;  ///< spawns every simulated thread
+
+  // --- inputs ---
+  std::vector<interp::Word> testing_inputs;  ///< benchmark-style workload
+  std::vector<interp::Word> exploit_inputs;  ///< crafted subtle inputs
+  bool authorized_root = false;
+  std::uint64_t max_steps = 400'000;
+
+  // --- pipeline wiring ---
+  core::DetectorKind detector = core::DetectorKind::kTsan;
+  unsigned detection_schedules = 4;
+  std::vector<interp::ThreadId> thread_order;  ///< verifier ordering hint
+  /// Kernel targets run without the LLDB-based dynamic verifiers (§8.3).
+  bool dynamic_verifiers_supported = true;
+
+  // --- ground truth for the evaluation harness ---
+  /// Attacks this workload models (>= 1 except memcached).
+  std::size_t known_attacks = 0;
+  /// Predicate over a finished machine: did the exploit succeed?
+  std::function<bool(const interp::Machine&)> attack_succeeded;
+  /// Predicate over a pipeline result: did OWL detect the attack(s)?
+  std::function<bool(const core::PipelineResult&)> attack_detected;
+  /// Fine-grained count for Table 2's "# atks found" (workloads modelling
+  /// several attacks set this; otherwise attack_detected * known_attacks).
+  std::function<std::size_t(const core::PipelineResult&)> attacks_found;
+
+  /// Resolves attacks_found with the attack_detected fallback.
+  std::size_t count_found(const core::PipelineResult& result) const {
+    if (attacks_found) return attacks_found(result);
+    return attack_detected && attack_detected(result) ? known_attacks : 0;
+  }
+
+  /// Fresh machine on the given inputs with all simulated threads spawned.
+  std::unique_ptr<interp::Machine> make_machine(
+      const std::vector<interp::Word>& inputs) const;
+
+  /// Machine factory bound to testing or exploit inputs.
+  race::MachineFactory factory(bool use_exploit_inputs) const;
+
+  /// Pipeline target (detection on testing inputs, verification on exploit
+  /// inputs — the "directed" part of directed detection).
+  core::PipelineTarget target(std::uint64_t seed = 1) const;
+
+  /// Pipeline options appropriate for this workload (kernel => no dynamic
+  /// verifiers, matching the paper's Linux setup).
+  core::PipelineOptions pipeline_options() const;
+};
+
+}  // namespace owl::workloads

@@ -1,0 +1,165 @@
+// Tests for the hint-guided vulnerable-input search.
+#include <gtest/gtest.h>
+
+#include "ir/parser.hpp"
+#include "ir/verifier.hpp"
+#include "vuln/input_search.hpp"
+#include "workloads/registry.hpp"
+
+namespace owl::vuln {
+namespace {
+
+std::shared_ptr<ir::Module> parse_ok(std::string_view text) {
+  auto result = ir::parse_module(text);
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  std::shared_ptr<ir::Module> m = std::move(result).value();
+  EXPECT_TRUE(ir::verify_module(*m).is_ok());
+  return m;
+}
+
+// The attack manifests only when input 0 exceeds a threshold the benign
+// baseline stays below; the hint branch guards the site.
+const char* kThreshold = R"(module th
+global @x
+func @victim() {
+entry:
+  %amount = input 0
+  %v = load @x
+  %big = icmp sgt %amount, 40
+  br %big, bad, out
+bad:
+  setuid 0
+  ret
+out:
+  ret
+}
+func @writer() {
+entry:
+  store 1, @x
+  ret
+}
+func @main() {
+entry:
+  %a = thread_create @victim, 0
+  %b = thread_create @writer, 0
+  thread_join %a
+  thread_join %b
+  ret
+}
+)";
+
+ExploitReport exploit_for(const ir::Module& m) {
+  const ir::Function* victim = m.find_function("victim");
+  // Hand-build the hint: the site is the setuid, guarded by the
+  // input-dependent branch — what matters for the search is the list of
+  // branches to satisfy.
+  ExploitReport exploit;
+  exploit.site = [&] {
+    for (const auto& instr : victim->find_block("bad")->instructions()) {
+      if (instr->opcode() == ir::Opcode::kSetUid) return instr.get();
+    }
+    return static_cast<ir::Instruction*>(nullptr);
+  }();
+  exploit.type = SiteType::kPrivilegeOp;
+  exploit.dep = DepKind::kControl;
+  exploit.function = victim;
+  exploit.branches.push_back(victim->entry()->terminator());
+  return exploit;
+}
+
+TEST(InputSearchTest, FindsThresholdCrossingInput) {
+  auto m = parse_ok(kThreshold);
+  const ExploitReport exploit = exploit_for(*m);
+  const MachineWithInputs factory =
+      [m](const std::vector<interp::Word>& inputs) {
+        interp::MachineOptions options;
+        options.inputs = inputs;
+        auto machine = std::make_unique<interp::Machine>(*m, options);
+        machine->start(m->find_function("main"));
+        return machine;
+      };
+  const InputSearchResult result =
+      search_vulnerable_inputs(exploit, factory, {3});
+  EXPECT_TRUE(result.attack_found);
+  EXPECT_TRUE(result.site_reached);
+  ASSERT_EQ(result.inputs.size(), 1u);
+  EXPECT_GT(result.inputs[0], 40);
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+TEST(InputSearchTest, DeterministicPerSeed) {
+  auto m = parse_ok(kThreshold);
+  const ExploitReport exploit = exploit_for(*m);
+  const MachineWithInputs factory =
+      [m](const std::vector<interp::Word>& inputs) {
+        interp::MachineOptions options;
+        options.inputs = inputs;
+        auto machine = std::make_unique<interp::Machine>(*m, options);
+        machine->start(m->find_function("main"));
+        return machine;
+      };
+  InputSearchOptions options;
+  options.seed = 42;
+  const InputSearchResult a =
+      search_vulnerable_inputs(exploit, factory, {3}, options);
+  const InputSearchResult b =
+      search_vulnerable_inputs(exploit, factory, {3}, options);
+  EXPECT_EQ(a.inputs, b.inputs);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.attack_found, b.attack_found);
+}
+
+TEST(InputSearchTest, EmptyBaseOrNullSiteRejected) {
+  auto m = parse_ok(kThreshold);
+  const MachineWithInputs factory =
+      [m](const std::vector<interp::Word>& inputs) {
+        interp::MachineOptions options;
+        options.inputs = inputs;
+        auto machine = std::make_unique<interp::Machine>(*m, options);
+        machine->start(m->find_function("main"));
+        return machine;
+      };
+  ExploitReport no_site;
+  EXPECT_FALSE(
+      search_vulnerable_inputs(no_site, factory, {1}).attack_found);
+  const ExploitReport exploit = exploit_for(*m);
+  EXPECT_FALSE(
+      search_vulnerable_inputs(exploit, factory, {}).attack_found);
+}
+
+TEST(InputSearchTest, SynthesizesMysqlFlushExploitFromBenignInputs) {
+  const workloads::Workload w = workloads::make_mysql_flush({0.2});
+  // The real pipeline hint for the setuid site.
+  core::PipelineOptions options = w.pipeline_options();
+  options.enable_vuln_verifier = false;
+  const core::PipelineResult result =
+      core::Pipeline(options).run(w.target());
+  const ExploitReport* exploit = nullptr;
+  for (const ExploitReport& e : result.exploits) {
+    if (e.site != nullptr && e.site->opcode() == ir::Opcode::kSetUid) {
+      exploit = &e;
+    }
+  }
+  ASSERT_NE(exploit, nullptr);
+
+  const MachineWithInputs factory =
+      [&w](const std::vector<interp::Word>& inputs) {
+        return w.make_machine(inputs);
+      };
+  const InputSearchResult search =
+      search_vulnerable_inputs(*exploit, factory, w.testing_inputs);
+  EXPECT_TRUE(search.attack_found);
+
+  // The synthesized inputs really do realize the attack.
+  unsigned hits = 0;
+  for (unsigned i = 0; i < 10; ++i) {
+    auto machine = w.make_machine(search.inputs);
+    interp::RandomScheduler sched(700 + i);
+    machine->run(sched);
+    if (w.attack_succeeded(*machine)) ++hits;
+  }
+  EXPECT_GE(hits, 1u);
+}
+
+}  // namespace
+}  // namespace owl::vuln

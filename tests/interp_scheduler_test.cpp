@@ -1,0 +1,116 @@
+// Unit tests for the schedulers (determinism, fairness, replay, priority).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "interp/scheduler.hpp"
+
+namespace owl::interp {
+namespace {
+
+TEST(RoundRobinTest, CyclesThroughRunnable) {
+  RoundRobinScheduler sched;
+  const std::vector<ThreadId> runnable{1, 2, 3};
+  EXPECT_EQ(sched.pick(runnable, 0), 1u);
+  EXPECT_EQ(sched.pick(runnable, 1), 2u);
+  EXPECT_EQ(sched.pick(runnable, 2), 3u);
+  EXPECT_EQ(sched.pick(runnable, 3), 1u);  // wraps
+}
+
+TEST(RoundRobinTest, SkipsMissingThreads) {
+  RoundRobinScheduler sched;
+  EXPECT_EQ(sched.pick({0, 4}, 0), 4u);  // after 0 comes 4
+  EXPECT_EQ(sched.pick({0, 4}, 1), 0u);
+}
+
+TEST(RandomSchedulerTest, DeterministicPerSeed) {
+  RandomScheduler a(42);
+  RandomScheduler b(42);
+  const std::vector<ThreadId> runnable{0, 1, 2, 3};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.pick(runnable, i), b.pick(runnable, i));
+  }
+}
+
+TEST(RandomSchedulerTest, CoversAllThreads) {
+  RandomScheduler sched(7);
+  const std::vector<ThreadId> runnable{0, 1, 2};
+  std::set<ThreadId> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(sched.pick(runnable, i));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RandomSchedulerTest, DifferentSeedsDifferentSchedules) {
+  RandomScheduler a(1);
+  RandomScheduler b(2);
+  const std::vector<ThreadId> runnable{0, 1, 2, 3, 4, 5, 6, 7};
+  int differ = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.pick(runnable, i) != b.pick(runnable, i)) ++differ;
+  }
+  EXPECT_GT(differ, 10);
+}
+
+TEST(PctTest, StrictPriorityUntilChangePoint) {
+  PctScheduler sched(3, /*depth=*/1, /*expected_steps=*/1000);
+  sched.on_thread_created(0);
+  sched.on_thread_created(1);
+  sched.on_thread_created(2);
+  const std::vector<ThreadId> runnable{0, 1, 2};
+  // With depth 1 there are no change points: the same top-priority thread
+  // wins every step while runnable.
+  const ThreadId first = sched.pick(runnable, 0);
+  for (int i = 1; i < 50; ++i) {
+    EXPECT_EQ(sched.pick(runnable, i), first);
+  }
+}
+
+TEST(PctTest, ChangePointDemotesRunningThread) {
+  PctScheduler sched(3, /*depth=*/2, /*expected_steps=*/10);
+  sched.on_thread_created(0);
+  sched.on_thread_created(1);
+  const std::vector<ThreadId> runnable{0, 1};
+  std::set<ThreadId> seen;
+  for (int i = 0; i < 40; ++i) seen.insert(sched.pick(runnable, i));
+  // After the change point the other thread must get to run.
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(PctTest, FallsBackWhenTopThreadBlocked) {
+  PctScheduler sched(9, 1, 100);
+  sched.on_thread_created(0);
+  sched.on_thread_created(1);
+  const ThreadId top = sched.pick({0, 1}, 0);
+  const ThreadId other = top == 0 ? 1 : 0;
+  EXPECT_EQ(sched.pick({other}, 1), other);
+}
+
+TEST(ReplayTest, FollowsScript) {
+  ReplayScheduler sched({2, 2, 1, 0});
+  const std::vector<ThreadId> runnable{0, 1, 2};
+  EXPECT_EQ(sched.pick(runnable, 0), 2u);
+  EXPECT_EQ(sched.pick(runnable, 1), 2u);
+  EXPECT_EQ(sched.pick(runnable, 2), 1u);
+  EXPECT_EQ(sched.pick(runnable, 3), 0u);
+}
+
+TEST(ReplayTest, SkipsBlockedScriptEntriesAndFallsBack) {
+  ReplayScheduler sched({5, 1});
+  // Thread 5 is not runnable: the entry is skipped, 1 is served; then the
+  // script is exhausted and round-robin takes over.
+  EXPECT_EQ(sched.pick({0, 1}, 0), 1u);
+  const ThreadId next = sched.pick({0, 1}, 1);
+  EXPECT_TRUE(next == 0u || next == 1u);
+}
+
+TEST(PriorityTest, AlwaysPicksHighestListed) {
+  PriorityScheduler sched({3, 1, 0});
+  EXPECT_EQ(sched.pick({0, 1, 3}, 0), 3u);
+  EXPECT_EQ(sched.pick({0, 1}, 1), 1u);
+  EXPECT_EQ(sched.pick({0}, 2), 0u);
+  // Unlisted threads run only when nothing listed is runnable.
+  EXPECT_EQ(sched.pick({7}, 3), 7u);
+}
+
+}  // namespace
+}  // namespace owl::interp

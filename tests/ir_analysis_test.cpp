@@ -1,0 +1,333 @@
+// Unit tests for CFG, dominators, post-dominators, loops, call graph, and
+// control dependence — the static backbone of Algorithm 1 and §5.1.
+#include <gtest/gtest.h>
+
+#include "ir/callgraph.hpp"
+#include "ir/cfg.hpp"
+#include "ir/dominators.hpp"
+#include "ir/loops.hpp"
+#include "ir/parser.hpp"
+#include "vuln/control_dep.hpp"
+
+namespace owl::ir {
+namespace {
+
+std::unique_ptr<Module> parse_ok(std::string_view text) {
+  auto result = parse_module(text);
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  return std::move(result).value();
+}
+
+// A diamond: entry -> (then|else) -> join -> exit.
+const char* kDiamond = R"(module d
+global @g
+func @f() -> i64 {
+entry:
+  %v = load @g
+  %c = icmp eq %v, 0
+  br %c, then, else
+then:
+  jmp join
+else:
+  jmp join
+join:
+  ret %v
+}
+)";
+
+TEST(CfgTest, DiamondEdges) {
+  auto m = parse_ok(kDiamond);
+  const Function* f = m->find_function("f");
+  const Cfg cfg(*f);
+  const BasicBlock* entry = f->find_block("entry");
+  const BasicBlock* then_bb = f->find_block("then");
+  const BasicBlock* join = f->find_block("join");
+
+  EXPECT_EQ(cfg.successors(entry).size(), 2u);
+  EXPECT_EQ(cfg.predecessors(join).size(), 2u);
+  EXPECT_EQ(cfg.predecessors(entry).size(), 0u);
+  EXPECT_EQ(cfg.successors(then_bb).front(), join);
+  EXPECT_EQ(cfg.exit_blocks().size(), 1u);
+  EXPECT_EQ(cfg.exit_blocks().front(), join);
+}
+
+TEST(CfgTest, ReversePostOrderStartsAtEntry) {
+  auto m = parse_ok(kDiamond);
+  const Function* f = m->find_function("f");
+  const Cfg cfg(*f);
+  ASSERT_EQ(cfg.reverse_post_order().size(), 4u);
+  EXPECT_EQ(cfg.reverse_post_order().front(), f->entry());
+  // Join must come after both branch arms in RPO.
+  EXPECT_EQ(cfg.rpo_index(f->find_block("join")), 3u);
+}
+
+TEST(CfgTest, UnreachableBlockFlagged) {
+  auto m = parse_ok(R"(module u
+func @f() {
+entry:
+  ret
+island:
+  ret
+}
+)");
+  const Function* f = m->find_function("f");
+  const Cfg cfg(*f);
+  EXPECT_TRUE(cfg.is_reachable(f->find_block("entry")));
+  EXPECT_FALSE(cfg.is_reachable(f->find_block("island")));
+}
+
+TEST(DominatorTest, DiamondDominance) {
+  auto m = parse_ok(kDiamond);
+  const Function* f = m->find_function("f");
+  const Cfg cfg(*f);
+  const DominatorTree dom(cfg);
+  const BasicBlock* entry = f->find_block("entry");
+  const BasicBlock* then_bb = f->find_block("then");
+  const BasicBlock* else_bb = f->find_block("else");
+  const BasicBlock* join = f->find_block("join");
+
+  EXPECT_TRUE(dom.dominates(entry, join));
+  EXPECT_TRUE(dom.dominates(entry, then_bb));
+  EXPECT_FALSE(dom.dominates(then_bb, join));
+  EXPECT_FALSE(dom.dominates(else_bb, join));
+  EXPECT_TRUE(dom.dominates(join, join));
+  EXPECT_EQ(dom.idom(join), entry);
+  EXPECT_EQ(dom.idom(entry), nullptr);
+}
+
+TEST(PostDominatorTest, DiamondPostDominance) {
+  auto m = parse_ok(kDiamond);
+  const Function* f = m->find_function("f");
+  const Cfg cfg(*f);
+  const PostDominatorTree pdom(cfg);
+  const BasicBlock* entry = f->find_block("entry");
+  const BasicBlock* then_bb = f->find_block("then");
+  const BasicBlock* join = f->find_block("join");
+
+  EXPECT_TRUE(pdom.post_dominates(join, entry));
+  EXPECT_TRUE(pdom.post_dominates(join, then_bb));
+  EXPECT_FALSE(pdom.post_dominates(then_bb, entry));
+  EXPECT_EQ(pdom.ipdom(entry), join);
+}
+
+TEST(PostDominatorTest, MultiExitFunction) {
+  auto m = parse_ok(R"(module me
+global @g
+func @f() -> i64 {
+entry:
+  %v = load @g
+  %c = icmp eq %v, 0
+  br %c, a, b
+a:
+  ret 1
+b:
+  ret 2
+}
+)");
+  const Function* f = m->find_function("f");
+  const Cfg cfg(*f);
+  const PostDominatorTree pdom(cfg);
+  // Neither exit post-dominates the entry (virtual exit does).
+  EXPECT_FALSE(pdom.post_dominates(f->find_block("a"), f->find_block("entry")));
+  EXPECT_FALSE(pdom.post_dominates(f->find_block("b"), f->find_block("entry")));
+  EXPECT_EQ(pdom.ipdom(f->find_block("entry")), nullptr);
+}
+
+const char* kLoop = R"(module l
+global @flag
+func @wait() {
+entry:
+  jmp header
+header:
+  %v = load @flag
+  %c = icmp eq %v, 0
+  br %c, spin, out
+spin:
+  yield
+  jmp header
+out:
+  ret
+}
+)";
+
+TEST(LoopTest, DetectsNaturalLoop) {
+  auto m = parse_ok(kLoop);
+  const Function* f = m->find_function("wait");
+  const LoopInfo loops(*f);
+  ASSERT_EQ(loops.loops().size(), 1u);
+  const Loop& loop = loops.loops().front();
+  EXPECT_EQ(loop.header, f->find_block("header"));
+  EXPECT_TRUE(loop.contains(f->find_block("spin")));
+  EXPECT_FALSE(loop.contains(f->find_block("out")));
+  EXPECT_FALSE(loop.contains(f->find_block("entry")));
+}
+
+TEST(LoopTest, InLoopAndExitQueries) {
+  auto m = parse_ok(kLoop);
+  const Function* f = m->find_function("wait");
+  const LoopInfo loops(*f);
+  const Instruction* load = f->find_block("header")->front();
+  const Instruction* branch = f->find_block("header")->terminator();
+  EXPECT_TRUE(loops.in_loop(load));
+  EXPECT_TRUE(loops.can_exit_loop(branch));
+  EXPECT_FALSE(loops.in_loop(f->find_block("out")->front()));
+}
+
+TEST(LoopTest, NestedLoopsInnermostWins) {
+  auto m = parse_ok(R"(module n
+global @a
+func @f() {
+entry:
+  jmp oh
+oh:
+  %x = load @a
+  %c1 = icmp eq %x, 0
+  br %c1, ih, out
+ih:
+  %y = load @a
+  %c2 = icmp eq %y, 0
+  br %c2, ih, oh
+out:
+  ret
+}
+)");
+  const Function* f = m->find_function("f");
+  const LoopInfo loops(*f);
+  ASSERT_EQ(loops.loops().size(), 2u);
+  const Loop* inner = loops.innermost_loop(f->find_block("ih"));
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->header, f->find_block("ih"));
+  const Loop* outer = loops.innermost_loop(f->find_block("oh"));
+  EXPECT_EQ(outer->header, f->find_block("oh"));
+}
+
+TEST(LoopTest, StraightLineHasNoLoops) {
+  auto m = parse_ok(kDiamond);
+  const LoopInfo loops(*m->find_function("f"));
+  EXPECT_TRUE(loops.loops().empty());
+}
+
+TEST(CallGraphTest, EdgesAndReachability) {
+  auto m = parse_ok(R"(module cg
+func @leaf() {
+entry:
+  ret
+}
+func @mid() {
+entry:
+  call @leaf()
+  ret
+}
+func @top() {
+entry:
+  call @mid()
+  %t = thread_create @leaf, 0
+  thread_join %t
+  ret
+}
+func @island() {
+entry:
+  ret
+}
+)");
+  const CallGraph cg(*m);
+  Function* leaf = m->find_function("leaf");
+  Function* mid = m->find_function("mid");
+  Function* top = m->find_function("top");
+  Function* island = m->find_function("island");
+
+  EXPECT_TRUE(cg.callees(top).contains(mid));
+  EXPECT_TRUE(cg.callees(top).contains(leaf));  // via thread_create
+  EXPECT_TRUE(cg.callers(leaf).contains(mid));
+  EXPECT_EQ(cg.call_sites(leaf).size(), 2u);
+
+  const auto reach = cg.reachable_from({top});
+  EXPECT_TRUE(reach.contains(leaf));
+  EXPECT_FALSE(reach.contains(island));
+  EXPECT_FALSE(cg.is_recursive(top));
+}
+
+TEST(CallGraphTest, RecursionDetected) {
+  auto m = parse_ok(R"(module rec
+func @a() {
+entry:
+  call @b()
+  ret
+}
+func @b() {
+entry:
+  call @a()
+  ret
+}
+)");
+  const CallGraph cg(*m);
+  EXPECT_TRUE(cg.is_recursive(m->find_function("a")));
+  EXPECT_TRUE(cg.is_recursive(m->find_function("b")));
+}
+
+TEST(ControlDepTest, DiamondArmsDependOnBranch) {
+  auto m = parse_ok(kDiamond);
+  const Function* f = m->find_function("f");
+  const vuln::ControlDependence cd(*f);
+  const BasicBlock* entry = f->find_block("entry");
+  EXPECT_TRUE(cd.block_depends(f->find_block("then"), entry));
+  EXPECT_TRUE(cd.block_depends(f->find_block("else"), entry));
+  // The join is reached either way: not control dependent.
+  EXPECT_FALSE(cd.block_depends(f->find_block("join"), entry));
+  EXPECT_FALSE(cd.block_depends(entry, entry));
+}
+
+TEST(ControlDepTest, InstructionLevelQuery) {
+  auto m = parse_ok(kDiamond);
+  const Function* f = m->find_function("f");
+  const vuln::ControlDependence cd(*f);
+  const Instruction* branch = f->find_block("entry")->terminator();
+  const Instruction* in_then = f->find_block("then")->front();
+  const Instruction* in_join = f->find_block("join")->front();
+  EXPECT_TRUE(cd.depends(in_then, branch));
+  EXPECT_FALSE(cd.depends(in_join, branch));
+  EXPECT_FALSE(cd.depends(in_then, in_join));  // not a branch
+}
+
+TEST(ControlDepTest, LoopBodyDependsOnLoopBranch) {
+  auto m = parse_ok(kLoop);
+  const Function* f = m->find_function("wait");
+  const vuln::ControlDependence cd(*f);
+  const Instruction* loop_branch = f->find_block("header")->terminator();
+  EXPECT_TRUE(cd.depends(f->find_block("spin")->front(), loop_branch));
+  // The loop header controls its own re-execution.
+  EXPECT_TRUE(cd.block_depends(f->find_block("header"),
+                               f->find_block("header")));
+  // "out" post-dominates the header (it is the sole exit), so by the
+  // classic Ferrante-Ottenstein-Warren definition it is NOT control
+  // dependent on the loop branch.
+  EXPECT_FALSE(
+      cd.block_depends(f->find_block("out"), f->find_block("header")));
+}
+
+TEST(ControlDepTest, EarlyReturnPattern) {
+  // The Libsafe stack_check shape: "if (dying) return 0;" makes the rest
+  // of the function control-dependent on the branch.
+  auto m = parse_ok(R"(module er
+global @dying
+func @check() -> i64 {
+entry:
+  %d = load @dying
+  %c = icmp ne %d, 0
+  br %c, bypass, work
+bypass:
+  ret 0
+work:
+  %r = add 1, 2
+  ret %r
+}
+)");
+  const Function* f = m->find_function("check");
+  const vuln::ControlDependence cd(*f);
+  const BasicBlock* entry = f->find_block("entry");
+  EXPECT_TRUE(cd.block_depends(f->find_block("bypass"), entry));
+  EXPECT_TRUE(cd.block_depends(f->find_block("work"), entry));
+}
+
+}  // namespace
+}  // namespace owl::ir

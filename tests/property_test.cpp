@@ -1,0 +1,355 @@
+// Property-style parameterized sweeps over the core invariants:
+//  - replayability: a seed fully determines an execution;
+//  - mutual exclusion under every schedule;
+//  - happens-before soundness: unordered conflicting accesses are always
+//    reported, ordered ones never;
+//  - strcpy overflow detection exactly at the buffer boundary;
+//  - vector-clock lattice laws under random operation sequences.
+#include <gtest/gtest.h>
+
+#include "interp/machine.hpp"
+#include "ir/parser.hpp"
+#include "ir/verifier.hpp"
+#include "race/tsan_detector.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace owl {
+namespace {
+
+std::unique_ptr<ir::Module> parse_ok(std::string_view text) {
+  auto result = ir::parse_module(text);
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  auto m = std::move(result).value();
+  EXPECT_TRUE(ir::verify_module(*m).is_ok());
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Replay determinism: same module + inputs + seed => identical prints, step
+// count, final memory.
+// ---------------------------------------------------------------------------
+
+class ReplayDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReplayDeterminism, SameSeedSameExecution) {
+  auto m = parse_ok(R"(module rd
+global @a
+global @b
+func @w1() {
+entry:
+  jmp loop
+loop:
+  %i = phi [0, entry], [%n, loop]
+  %v = load @a
+  store %v, @b
+  %w = load @b
+  %w2 = add %w, 3
+  store %w2, @a
+  %n = add %i, 1
+  %c = icmp slt %n, 20
+  br %c, loop, out
+out:
+  print %i
+  ret
+}
+func @main() {
+entry:
+  %x = thread_create @w1, 0
+  %y = thread_create @w1, 0
+  thread_join %x
+  thread_join %y
+  %f = load @a
+  print %f
+  ret
+}
+)");
+  const auto run_once = [&](std::uint64_t seed) {
+    interp::Machine machine(*m, {});
+    machine.start(m->find_function("main"));
+    interp::RandomScheduler sched(seed);
+    const interp::RunResult r = machine.run(sched);
+    return std::make_tuple(r.steps, machine.prints(),
+                           machine.read_global("a"));
+  };
+  const std::uint64_t seed = GetParam();
+  EXPECT_EQ(run_once(seed), run_once(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayDeterminism,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345, 777777));
+
+// ---------------------------------------------------------------------------
+// Mutual exclusion holds under every scheduler seed.
+// ---------------------------------------------------------------------------
+
+class MutexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutexProperty, CounterIsExact) {
+  auto m = parse_ok(R"(module mx
+global @mu
+global @ctr
+func @worker() {
+entry:
+  jmp loop
+loop:
+  %i = phi [0, entry], [%n, loop]
+  lock @mu
+  %v = load @ctr
+  yield
+  %v2 = add %v, 1
+  store %v2, @ctr
+  unlock @mu
+  %n = add %i, 1
+  %c = icmp slt %n, 25
+  br %c, loop, out
+out:
+  ret
+}
+func @main() {
+entry:
+  %a = thread_create @worker, 0
+  %b = thread_create @worker, 0
+  %c = thread_create @worker, 0
+  thread_join %a
+  thread_join %b
+  thread_join %c
+  ret
+}
+)");
+  interp::Machine machine(*m, {});
+  machine.start(m->find_function("main"));
+  interp::RandomScheduler sched(GetParam());
+  ASSERT_EQ(machine.run(sched).reason, interp::StopReason::kAllFinished);
+  EXPECT_EQ(machine.read_global("ctr"), 75);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutexProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// Happens-before soundness / completeness on a two-access program.
+// ---------------------------------------------------------------------------
+
+class HbProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HbProperty, UnorderedConflictAlwaysReported) {
+  auto m = parse_ok(R"(module un
+global @x
+func @w() {
+entry:
+  store 1, @x
+  ret
+}
+func @r() {
+entry:
+  %v = load @x
+  ret
+}
+func @main() {
+entry:
+  %a = thread_create @w, 0
+  %b = thread_create @r, 0
+  thread_join %a
+  thread_join %b
+  ret
+}
+)");
+  interp::Machine machine(*m, {});
+  race::TsanDetector detector;
+  machine.add_observer(&detector);
+  machine.start(m->find_function("main"));
+  interp::RandomScheduler sched(GetParam());
+  machine.run(sched);
+  // No matter the actual interleaving order, the pair is unordered by
+  // happens-before and must be reported.
+  EXPECT_EQ(detector.take_reports().size(), 1u);
+}
+
+TEST_P(HbProperty, LockOrderedConflictNeverReported) {
+  auto m = parse_ok(R"(module lo
+global @mu
+global @x
+func @w() {
+entry:
+  lock @mu
+  store 1, @x
+  unlock @mu
+  ret
+}
+func @r() {
+entry:
+  lock @mu
+  %v = load @x
+  unlock @mu
+  ret
+}
+func @main() {
+entry:
+  %a = thread_create @w, 0
+  %b = thread_create @r, 0
+  thread_join %a
+  thread_join %b
+  ret
+}
+)");
+  interp::Machine machine(*m, {});
+  race::TsanDetector detector;
+  machine.add_observer(&detector);
+  machine.start(m->find_function("main"));
+  interp::RandomScheduler sched(GetParam());
+  machine.run(sched);
+  EXPECT_TRUE(detector.take_reports().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HbProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ---------------------------------------------------------------------------
+// strcpy flags an overflow exactly when the source (plus terminator) does
+// not fit the destination.
+// ---------------------------------------------------------------------------
+
+class StrcpyBoundary : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrcpyBoundary, OverflowIffTooLong) {
+  const int len = GetParam();
+  std::string program = "module sb\nglobal @dst [8]\nglobal @src [32]\n";
+  program += "func @main() {\nentry:\n";
+  for (int i = 0; i < len; ++i) {
+    program += str_format("  %%p%d = gep @src, %d\n", i, i);
+    program += str_format("  store 7, %%p%d\n", i);
+  }
+  program += "  strcpy @dst, @src\n  ret\n}\n";
+  auto m = parse_ok(program);
+  interp::Machine machine(*m, {});
+  machine.start(m->find_function("main"));
+  interp::RoundRobinScheduler sched;
+  machine.run(sched);
+  const bool overflowed =
+      machine.has_event(interp::SecurityEventKind::kBufferOverflow);
+  // 8-cell buffer: len 7 + terminator fits; len 8 does not.
+  EXPECT_EQ(overflowed, len + 1 > 8) << "len=" << len;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, StrcpyBoundary, ::testing::Range(0, 13));
+
+// ---------------------------------------------------------------------------
+// Vector-clock lattice laws under random operation sequences.
+// ---------------------------------------------------------------------------
+
+class ClockLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+race::VectorClock random_clock(Rng& rng) {
+  race::VectorClock c;
+  const std::size_t n = rng.next_in(0, 5);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.set(static_cast<race::ThreadId>(rng.next_below(6)),
+          rng.next_below(10));
+  }
+  return c;
+}
+
+TEST_P(ClockLaws, JoinIsLeastUpperBound) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const race::VectorClock a = random_clock(rng);
+    const race::VectorClock b = random_clock(rng);
+    race::VectorClock j = a;
+    j.join(b);
+    // Upper bound.
+    EXPECT_TRUE(a.leq(j));
+    EXPECT_TRUE(b.leq(j));
+    // Least: any other upper bound dominates j.
+    race::VectorClock u = random_clock(rng);
+    u.join(a);
+    u.join(b);
+    EXPECT_TRUE(j.leq(u));
+    // Idempotent and commutative.
+    race::VectorClock j2 = b;
+    j2.join(a);
+    EXPECT_TRUE(j.leq(j2));
+    EXPECT_TRUE(j2.leq(j));
+    race::VectorClock jj = j;
+    jj.join(j);
+    EXPECT_TRUE(jj.leq(j));
+  }
+}
+
+TEST_P(ClockLaws, LeqIsAPartialOrder) {
+  Rng rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const race::VectorClock a = random_clock(rng);
+    const race::VectorClock b = random_clock(rng);
+    const race::VectorClock c = random_clock(rng);
+    EXPECT_TRUE(a.leq(a));  // reflexive
+    if (a.leq(b) && b.leq(a)) {
+      // Antisymmetry: equal as functions.
+      for (race::ThreadId t = 0; t < 8; ++t) {
+        EXPECT_EQ(a.get(t), b.get(t));
+      }
+    }
+    if (a.leq(b) && b.leq(c)) {
+      EXPECT_TRUE(a.leq(c));  // transitive
+    }
+    // Increment strictly grows.
+    race::VectorClock a2 = a;
+    a2.increment(3);
+    EXPECT_TRUE(a.leq(a2));
+    EXPECT_FALSE(a2.leq(a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClockLaws,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---------------------------------------------------------------------------
+// Machine determinism also holds across scheduler kinds for race-free
+// programs: the final state is schedule-independent.
+// ---------------------------------------------------------------------------
+
+class ScheduleIndependence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleIndependence, RaceFreeProgramIsConfluent) {
+  auto m = parse_ok(R"(module cf
+global @mu
+global @total
+func @acc(i64 %k) {
+entry:
+  jmp loop
+loop:
+  %i = phi [0, entry], [%n, loop]
+  lock @mu
+  %v = load @total
+  %v2 = add %v, %k
+  store %v2, @total
+  unlock @mu
+  %n = add %i, 1
+  %c = icmp slt %n, 10
+  br %c, loop, out
+out:
+  ret
+}
+func @main() {
+entry:
+  %a = thread_create @acc, 1
+  %b = thread_create @acc, 2
+  %c = thread_create @acc, 3
+  thread_join %a
+  thread_join %b
+  thread_join %c
+  ret
+}
+)");
+  interp::Machine machine(*m, {});
+  machine.start(m->find_function("main"));
+  interp::PctScheduler sched(GetParam(), 3, 2000);
+  ASSERT_EQ(machine.run(sched).reason, interp::StopReason::kAllFinished);
+  EXPECT_EQ(machine.read_global("total"), 60);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleIndependence,
+                         ::testing::Range<std::uint64_t>(100, 110));
+
+}  // namespace
+}  // namespace owl

@@ -1,0 +1,107 @@
+// Unit tests for vector clocks.
+#include <gtest/gtest.h>
+
+#include "race/vector_clock.hpp"
+
+namespace owl::race {
+namespace {
+
+TEST(VectorClockTest, DefaultIsEmptyAndZero) {
+  VectorClock c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.get(0), 0u);
+  EXPECT_EQ(c.get(100), 0u);
+}
+
+TEST(VectorClockTest, IncrementAndGet) {
+  VectorClock c;
+  c.increment(2);
+  c.increment(2);
+  c.increment(0);
+  EXPECT_EQ(c.get(2), 2u);
+  EXPECT_EQ(c.get(0), 1u);
+  EXPECT_EQ(c.get(1), 0u);
+  EXPECT_FALSE(c.empty());
+}
+
+TEST(VectorClockTest, JoinIsPointwiseMax) {
+  VectorClock a;
+  a.set(0, 5);
+  a.set(1, 1);
+  VectorClock b;
+  b.set(1, 3);
+  b.set(2, 7);
+  a.join(b);
+  EXPECT_EQ(a.get(0), 5u);
+  EXPECT_EQ(a.get(1), 3u);
+  EXPECT_EQ(a.get(2), 7u);
+}
+
+TEST(VectorClockTest, LeqPartialOrder) {
+  VectorClock a;
+  a.set(0, 1);
+  VectorClock b;
+  b.set(0, 2);
+  b.set(1, 1);
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+
+  VectorClock c;
+  c.set(1, 5);
+  // a and c are concurrent: neither leq the other.
+  EXPECT_FALSE(a.leq(c));
+  EXPECT_FALSE(c.leq(a));
+  // Reflexive.
+  EXPECT_TRUE(a.leq(a));
+}
+
+TEST(VectorClockTest, EmptyLeqEverything) {
+  VectorClock empty;
+  VectorClock any;
+  any.set(3, 9);
+  EXPECT_TRUE(empty.leq(any));
+  EXPECT_TRUE(empty.leq(empty));
+}
+
+TEST(VectorClockTest, EpochLeq) {
+  VectorClock c;
+  c.set(1, 4);
+  EXPECT_TRUE(VectorClock::epoch_leq(1, 4, c));
+  EXPECT_TRUE(VectorClock::epoch_leq(1, 3, c));
+  EXPECT_FALSE(VectorClock::epoch_leq(1, 5, c));
+  EXPECT_FALSE(VectorClock::epoch_leq(2, 1, c));
+}
+
+TEST(VectorClockTest, JoinGrowsCapacity) {
+  VectorClock a;
+  VectorClock b;
+  b.set(9, 2);
+  a.join(b);
+  EXPECT_EQ(a.get(9), 2u);
+  EXPECT_GE(a.size(), 10u);
+}
+
+TEST(VectorClockTest, ToString) {
+  VectorClock c;
+  c.set(0, 1);
+  c.set(2, 3);
+  EXPECT_EQ(c.to_string(), "[1,0,3]");
+  EXPECT_EQ(VectorClock().to_string(), "[]");
+}
+
+// Happens-before transitivity through join: if a <= b and b <= c then
+// a <= c (exercised as the release/acquire composition the detector uses).
+TEST(VectorClockTest, TransitivityThroughJoin) {
+  VectorClock a;
+  a.set(0, 2);
+  VectorClock b = a;
+  b.set(1, 1);
+  VectorClock c = b;
+  c.set(2, 4);
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_TRUE(b.leq(c));
+  EXPECT_TRUE(a.leq(c));
+}
+
+}  // namespace
+}  // namespace owl::race

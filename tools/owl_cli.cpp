@@ -1,0 +1,257 @@
+// owl_cli — audit a textual MiniIR program with the OWL pipeline.
+//
+// Usage:
+//   owl_cli <program.mir> [options]
+//
+// Options:
+//   --entry <name>         entry function spawning the threads (default: main)
+//   --inputs a,b,c         workload input vector (default: empty)
+//   --exploit-inputs a,b,c inputs for the vulnerability verifier re-runs
+//                          (default: same as --inputs)
+//   --detector tsan|ski|atomicity   front-end detector (default: tsan)
+//   --schedules N          detection schedules (default: 4)
+//   --seed S               base schedule seed (default: 1)
+//   --max-steps N          per-run instruction budget (default: 400000)
+//   --no-adhoc             disable adhoc-sync annotation (stage 2)
+//   --no-race-verifier     disable dynamic race verification (stage 3)
+//   --no-vuln-verifier     disable dynamic attack verification (stage 5)
+//   --whole-program        ablation: ignore runtime call stacks
+//   --print-module         echo the parsed module before analyzing
+//   --print-reports        print every surviving race report
+//   -q / --quiet           summary only
+//
+// Exit status: 0 when the pipeline ran (regardless of findings), 1 on
+// usage/parse errors, 2 when the module fails verification.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/pipeline.hpp"
+#include "interp/machine.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "support/strings.hpp"
+#include "vuln/hint.hpp"
+
+using namespace owl;
+
+namespace {
+
+struct CliOptions {
+  std::string path;
+  std::string entry = "main";
+  std::vector<interp::Word> inputs;
+  std::vector<interp::Word> exploit_inputs;
+  core::DetectorKind detector = core::DetectorKind::kTsan;
+  unsigned schedules = 4;
+  std::uint64_t seed = 1;
+  std::uint64_t max_steps = 400'000;
+  bool adhoc = true;
+  bool race_verifier = true;
+  bool vuln_verifier = true;
+  bool whole_program = false;
+  bool print_module = false;
+  bool print_reports = false;
+  bool quiet = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: owl_cli <program.mir> [--entry main] [--inputs a,b,c]\n"
+               "       [--detector tsan|ski|atomicity] [--schedules N]\n"
+               "       [--seed S] [--max-steps N] [--no-adhoc]\n"
+               "       [--no-race-verifier] [--no-vuln-verifier]\n"
+               "       [--whole-program] [--print-module] [--print-reports]\n"
+               "       [-q|--quiet]\n");
+}
+
+bool parse_word_list(const char* text, std::vector<interp::Word>& out) {
+  for (const std::string& part : split(text, ',')) {
+    std::int64_t value = 0;
+    if (!parse_int64(part, value)) return false;
+    out.push_back(value);
+  }
+  return true;
+}
+
+bool parse_args(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--entry") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.entry = v;
+    } else if (arg == "--inputs") {
+      const char* v = next();
+      if (v == nullptr || !parse_word_list(v, options.inputs)) return false;
+    } else if (arg == "--exploit-inputs") {
+      const char* v = next();
+      if (v == nullptr || !parse_word_list(v, options.exploit_inputs)) {
+        return false;
+      }
+    } else if (arg == "--detector") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "tsan") == 0) {
+        options.detector = core::DetectorKind::kTsan;
+      } else if (std::strcmp(v, "ski") == 0) {
+        options.detector = core::DetectorKind::kSki;
+      } else if (std::strcmp(v, "atomicity") == 0) {
+        options.detector = core::DetectorKind::kAtomicity;
+      } else {
+        return false;
+      }
+    } else if (arg == "--schedules") {
+      const char* v = next();
+      std::int64_t n = 0;
+      if (v == nullptr || !parse_int64(v, n) || n <= 0) return false;
+      options.schedules = static_cast<unsigned>(n);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      std::int64_t n = 0;
+      if (v == nullptr || !parse_int64(v, n)) return false;
+      options.seed = static_cast<std::uint64_t>(n);
+    } else if (arg == "--max-steps") {
+      const char* v = next();
+      std::int64_t n = 0;
+      if (v == nullptr || !parse_int64(v, n) || n <= 0) return false;
+      options.max_steps = static_cast<std::uint64_t>(n);
+    } else if (arg == "--no-adhoc") {
+      options.adhoc = false;
+    } else if (arg == "--no-race-verifier") {
+      options.race_verifier = false;
+    } else if (arg == "--no-vuln-verifier") {
+      options.vuln_verifier = false;
+    } else if (arg == "--whole-program") {
+      options.whole_program = true;
+    } else if (arg == "--print-module") {
+      options.print_module = true;
+    } else if (arg == "--print-reports") {
+      options.print_reports = true;
+    } else if (arg == "-q" || arg == "--quiet") {
+      options.quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else if (options.path.empty()) {
+      options.path = arg;
+    } else {
+      return false;
+    }
+  }
+  return !options.path.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_args(argc, argv, options)) {
+    usage();
+    return 1;
+  }
+  if (options.exploit_inputs.empty()) {
+    options.exploit_inputs = options.inputs;
+  }
+
+  std::ifstream file(options.path);
+  if (!file) {
+    std::fprintf(stderr, "owl_cli: cannot open %s\n", options.path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+
+  auto parsed = ir::parse_module(text.str());
+  if (!parsed.is_ok()) {
+    std::fprintf(stderr, "owl_cli: %s: %s\n", options.path.c_str(),
+                 parsed.status().to_string().c_str());
+    return 1;
+  }
+  std::shared_ptr<ir::Module> module = std::move(parsed).value();
+  if (const Status status = ir::verify_module(*module); !status.is_ok()) {
+    std::fprintf(stderr, "owl_cli: %s: %s\n", options.path.c_str(),
+                 status.to_string().c_str());
+    return 2;
+  }
+  const ir::Function* entry = module->find_function(options.entry);
+  if (entry == nullptr || !entry->has_body()) {
+    std::fprintf(stderr, "owl_cli: no entry function @%s\n",
+                 options.entry.c_str());
+    return 1;
+  }
+  if (options.print_module) {
+    std::fputs(ir::print_module(*module).c_str(), stdout);
+  }
+
+  const auto factory_for = [&](std::vector<interp::Word> inputs) {
+    return race::MachineFactory([module, entry, inputs,
+                                 max_steps = options.max_steps] {
+      interp::MachineOptions machine_options;
+      machine_options.inputs = inputs;
+      machine_options.max_steps = max_steps;
+      auto machine =
+          std::make_unique<interp::Machine>(*module, machine_options);
+      machine->start(entry);
+      return machine;
+    });
+  };
+
+  core::PipelineTarget target;
+  target.name = options.path;
+  target.module = module.get();
+  target.factory = factory_for(options.inputs);
+  target.exploit_factory = factory_for(options.exploit_inputs);
+  target.detector = options.detector;
+  target.detection_schedules = options.schedules;
+  target.seed = options.seed;
+
+  core::PipelineOptions pipeline_options;
+  pipeline_options.enable_adhoc_annotation = options.adhoc;
+  pipeline_options.enable_race_verifier = options.race_verifier;
+  pipeline_options.enable_vuln_verifier = options.vuln_verifier;
+  pipeline_options.analyzer_mode =
+      options.whole_program ? vuln::VulnerabilityAnalyzer::Mode::kWholeProgram
+                            : vuln::VulnerabilityAnalyzer::Mode::kDirected;
+
+  const core::PipelineResult result =
+      core::Pipeline(pipeline_options).run(target);
+
+  std::printf("owl_cli: %s\n", options.path.c_str());
+  std::printf("  raw race reports:      %zu\n", result.counts.raw_reports);
+  std::printf("  adhoc syncs annotated: %zu\n", result.counts.adhoc_syncs);
+  std::printf("  verifier eliminated:   %zu\n",
+              result.counts.verifier_eliminated);
+  std::printf("  verified races:        %zu\n", result.counts.remaining);
+  std::printf("  vulnerability reports: %zu\n",
+              result.counts.vulnerability_reports);
+  std::printf("  attacks (site reached/realized): %zu/%zu\n",
+              result.attacks.size(), result.confirmed_attacks());
+  if (options.quiet) return 0;
+
+  if (options.print_reports) {
+    std::printf("\n--- verified races ---\n");
+    for (const race::RaceReport& report :
+         result.store.stage(core::Stage::kAfterRaceVerifier)) {
+      std::fputs(report.to_string().c_str(), stdout);
+      std::printf("\n");
+    }
+  }
+  if (!result.exploits.empty()) {
+    std::printf("\n--- vulnerable input hints ---\n");
+    for (const vuln::ExploitReport& exploit : result.exploits) {
+      std::fputs(vuln::render_hint(exploit).c_str(), stdout);
+    }
+  }
+  if (!result.attacks.empty()) {
+    std::printf("\n--- attacks ---\n");
+    for (const core::ConcurrencyAttack& attack : result.attacks) {
+      std::fputs(attack.to_string().c_str(), stdout);
+    }
+  }
+  return 0;
+}
