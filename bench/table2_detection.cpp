@@ -15,6 +15,7 @@ struct ProgramRow {
   std::size_t attacks = 0;
   std::size_t found = 0;
   std::size_t owl_reports = 0;
+  bool degraded = false;
 };
 
 }  // namespace
@@ -35,6 +36,7 @@ int main() {
     row.attacks += w.known_attacks;
     row.found += w.count_found(result);
     row.owl_reports += result.counts.vulnerability_reports;
+    row.degraded = row.degraded || result.degraded();
   }
 
   // Paper's per-program reference values: {atks, found, OWL reports}.
@@ -45,9 +47,10 @@ int main() {
   };
 
   TableFormatter table({"Name", "LoC", "# atks", "# found", "# OWL reports",
-                        "paper (atks/found/reports)"},
+                        "resilience", "paper (atks/found/reports)"},
                        {Align::kLeft, Align::kRight, Align::kRight,
-                        Align::kRight, Align::kRight, Align::kRight});
+                        Align::kRight, Align::kRight, Align::kLeft,
+                        Align::kRight});
   std::size_t total_attacks = 0;
   std::size_t total_found = 0;
   std::size_t total_reports = 0;
@@ -63,7 +66,7 @@ int main() {
              : str_format("%lluK",
                           static_cast<unsigned long long>(row.loc / 1000)),
          std::to_string(row.attacks), std::to_string(row.found),
-         std::to_string(row.owl_reports),
+         std::to_string(row.owl_reports), row.degraded ? "degraded" : "ok",
          str_format("%d/%d/%d", paper[0], paper[1], paper[2])});
     total_attacks += row.attacks;
     total_found += row.found;
@@ -72,7 +75,7 @@ int main() {
   table.add_rule();
   table.add_row({"Total", "5.36M", std::to_string(total_attacks),
                  std::to_string(total_found), std::to_string(total_reports),
-                 "11/10/180"});
+                 "", "11/10/180"});
   std::fputs(table.render().c_str(), stdout);
 
   std::printf(

@@ -35,10 +35,10 @@ int main() {
   };
 
   TableFormatter table({"Name", "R.R.", "A.S.", "R.V.E.", "R.", "A.C.",
-                        "paper (R.R./A.S./R.V.E./R.)"},
+                        "resilience", "paper (R.R./A.S./R.V.E./R.)"},
                        {Align::kLeft, Align::kRight, Align::kRight,
                         Align::kRight, Align::kRight, Align::kRight,
-                        Align::kRight});
+                        Align::kLeft, Align::kRight});
 
   std::size_t total_raw = 0;
   std::size_t total_adhoc = 0;
@@ -67,7 +67,7 @@ int main() {
                    c.avg_analysis_seconds > 0
                        ? str_format("%.0fus", c.avg_analysis_seconds * 1e6)
                        : "-",
-                   paper_text});
+                   c.resilience_summary(), paper_text});
   }
   table.add_rule();
   const double reduction =
@@ -76,7 +76,7 @@ int main() {
           : 100.0 * (1.0 - static_cast<double>(total_remaining) /
                                static_cast<double>(total_raw));
   table.add_row({"Total", with_commas(total_raw), std::to_string(total_adhoc),
-                 with_commas(total_rve), with_commas(total_remaining), "",
+                 with_commas(total_rve), with_commas(total_remaining), "", "",
                  "31,870/22/9,258/1,881"});
   std::fputs(table.render().c_str(), stdout);
 

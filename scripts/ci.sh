@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI gate: configure, build, run the full test suite, then rebuild the unit
+# tests under ASan+UBSan and run them again. Any failure fails the script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+current_step="startup"
+trap 'echo "ci.sh: FAILED during: ${current_step}" >&2' ERR
+
+jobs="$(nproc)"
+
+current_step="configure"
+cmake -B build -S .
+
+current_step="build"
+cmake --build build -j"${jobs}"
+
+current_step="ctest"
+ctest --test-dir build --output-on-failure -j"${jobs}"
+
+# Sanitizer pass: a separate tree so the regular build stays reusable.
+current_step="configure (ASan+UBSan)"
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+
+current_step="build owl_unit_tests (ASan+UBSan)"
+cmake --build build-asan -j"${jobs}" --target owl_unit_tests
+
+current_step="run owl_unit_tests (ASan+UBSan)"
+./build-asan/tests/owl_unit_tests
+
+echo "ci.sh: all gates passed"

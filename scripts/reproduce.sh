@@ -4,10 +4,33 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build 2>&1 | tee test_output.txt
-for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+# Fail fast AND loud: name the step that died instead of ending silently.
+current_step="startup"
+trap 'echo "reproduce.sh: FAILED during: ${current_step}" >&2' ERR
+
+# Prefer Ninja for fresh trees; an already-configured build/ keeps its
+# generator (CMake refuses to switch generators in place).
+generator=()
+if [ ! -f build/CMakeCache.txt ] && command -v ninja > /dev/null 2>&1; then
+  generator=(-G Ninja)
+fi
+
+current_step="configure (cmake)"
+cmake -B build ${generator[@]+"${generator[@]}"}
+
+current_step="build"
+cmake --build build -j"$(nproc)"
+
+current_step="tests (ctest)"
+ctest --test-dir build --output-on-failure -j"$(nproc)" 2>&1 | tee test_output.txt
+
+current_step="benchmarks"
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  current_step="benchmark $(basename "$b")"
+  "$b" 2>&1 | tee -a bench_output.txt
+done
 
 echo
 echo "Reproduction complete. See EXPERIMENTS.md for the paper-vs-measured"

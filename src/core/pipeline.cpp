@@ -2,11 +2,51 @@
 
 #include <chrono>
 
-#include "support/log.hpp"
 #include "race/atomicity_detector.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
 #include "sync/annotator.hpp"
 
 namespace owl::core {
+namespace {
+
+using support::FailureCause;
+using support::FaultInjector;
+using support::FaultKind;
+using support::PipelineStage;
+
+void record_failure(StageCounts& counts, PipelineStage stage,
+                    FailureCause cause, std::string detail,
+                    std::uint64_t steps_spent = 0, double wall_seconds = 0.0,
+                    unsigned retries = 0) {
+  support::FailureRecord record;
+  record.stage = stage;
+  record.cause = cause;
+  record.detail = std::move(detail);
+  record.steps_spent = steps_spent;
+  record.wall_seconds = wall_seconds;
+  record.retries = retries;
+  OWL_LOG(kWarn) << "pipeline stage degraded: " << record.to_string();
+  counts.failures.push_back(std::move(record));
+}
+
+/// Attributes non-throwing injected faults (stalls, truncation) observed
+/// since begin_stage to the stage's accounting, so a fault-injection run
+/// reports exactly what it degraded.
+void attribute_injected(FaultInjector* injector, StageCounts& counts,
+                        PipelineStage stage) {
+  if (injector == nullptr) return;
+  if (injector->fired_in_stage(FaultKind::kSchedulerStall)) {
+    record_failure(counts, stage, FailureCause::kSchedulerStall,
+                   "injected scheduler stall burned the schedule");
+  }
+  if (injector->fired_in_stage(FaultKind::kTruncatedEvents)) {
+    record_failure(counts, stage, FailureCause::kTruncatedEvents,
+                   "injected truncation dropped observer events");
+  }
+}
+
+}  // namespace
 
 std::size_t PipelineResult::confirmed_attacks() const noexcept {
   std::size_t n = 0;
@@ -16,20 +56,32 @@ std::size_t PipelineResult::confirmed_attacks() const noexcept {
   return n;
 }
 
-std::vector<race::RaceReport> Pipeline::detect(
-    const PipelineTarget& target,
-    const race::AnnotationSet* annotations) const {
+std::vector<race::RaceReport> Pipeline::detect_once(
+    const PipelineTarget& target, const race::AnnotationSet* annotations,
+    std::uint64_t base_seed, support::Budget& budget,
+    StageCounts& counts) const {
+  FaultInjector* injector = options_.fault_injector;
   std::vector<race::RaceReport> merged;
   for (unsigned i = 0; i < target.detection_schedules; ++i) {
+    if (const auto cause = budget.exhausted_by()) {
+      record_failure(counts, PipelineStage::kDetection, *cause,
+                     str_format("%u of %u schedules skipped",
+                                target.detection_schedules - i,
+                                target.detection_schedules),
+                     budget.steps_spent(), budget.elapsed_seconds());
+      break;
+    }
     std::unique_ptr<interp::Machine> machine = target.factory();
+    machine->set_fault_injector(injector);
     if (target.detector == DetectorKind::kAtomicity) {
       // §8.3 extension: an atomicity-violation detector feeding the same
       // report stream. Annotations do not apply (the triples are already
       // schedule-classified), so `annotations` is intentionally unused.
       race::AtomicityDetector detector;
       machine->add_observer(&detector);
-      interp::RandomScheduler scheduler(target.seed + i);
-      machine->run(scheduler);
+      interp::RandomScheduler scheduler(base_seed + i);
+      const interp::RunResult run = machine->run(scheduler);
+      budget.charge_steps(run.steps);
       std::vector<race::RaceReport> converted;
       for (const race::AtomicityReport& report : detector.take_reports()) {
         converted.push_back(report.to_race_report());
@@ -42,48 +94,101 @@ std::vector<race::RaceReport> Pipeline::detect(
     if (target.detector == DetectorKind::kSki) {
       detector = std::make_unique<race::SkiDetector>(annotations);
       scheduler = std::make_unique<interp::PctScheduler>(
-          target.seed + i, /*depth=*/3, /*expected_steps=*/20000);
+          base_seed + i, /*depth=*/3, /*expected_steps=*/20000);
     } else {
       detector = std::make_unique<race::TsanDetector>(annotations);
-      scheduler =
-          std::make_unique<interp::RandomScheduler>(target.seed + i);
+      scheduler = std::make_unique<interp::RandomScheduler>(base_seed + i);
     }
     machine->add_observer(detector.get());
-    machine->run(*scheduler);
+    const interp::RunResult run = machine->run(*scheduler);
+    budget.charge_steps(run.steps);
     race::merge_reports(merged, detector->take_reports());
   }
   return merged;
 }
 
+std::optional<std::vector<race::RaceReport>> Pipeline::detect(
+    const PipelineTarget& target, const race::AnnotationSet* annotations,
+    StageCounts& counts) const {
+  FaultInjector* injector = options_.fault_injector;
+  const support::RetryPolicy& retry = options_.retry;
+  for (unsigned attempt = 0; attempt < retry.max_attempts(); ++attempt) {
+    if (injector != nullptr) {
+      injector->begin_stage(PipelineStage::kDetection);
+    }
+    support::Budget budget(
+        retry.budget_for(options_.stage_budgets.detection, attempt));
+    try {
+      if (injector != nullptr) injector->maybe_throw();
+      std::vector<race::RaceReport> merged = detect_once(
+          target, annotations, retry.seed_for(target.seed, attempt), budget,
+          counts);
+      counts.retries_used += attempt;
+      attribute_injected(injector, counts, PipelineStage::kDetection);
+      return merged;
+    } catch (const std::exception& error) {
+      if (attempt + 1 >= retry.max_attempts()) {
+        record_failure(counts, PipelineStage::kDetection,
+                       FailureCause::kException, error.what(),
+                       budget.steps_spent(), budget.elapsed_seconds(),
+                       attempt);
+        counts.retries_used += attempt;
+        return std::nullopt;
+      }
+      OWL_LOG(kInfo) << target.name << ": detection attempt " << attempt
+                     << " failed (" << error.what()
+                     << "), retrying with rotated seed";
+    }
+  }
+  return std::nullopt;
+}
+
 PipelineResult Pipeline::run(const PipelineTarget& target) const {
   const auto t0 = std::chrono::steady_clock::now();
   PipelineResult result;
+  result.target_name = target.name;
+  FaultInjector* injector = options_.fault_injector;
+  const support::RetryPolicy& retry = options_.retry;
+  if (injector != nullptr) injector->begin_target(target.name);
 
   // ---- step (1): raw detection ----
-  std::vector<race::RaceReport> raw = detect(target, nullptr);
+  std::vector<race::RaceReport> raw =
+      detect(target, nullptr, result.counts).value_or(std::vector<race::RaceReport>{});
   result.counts.raw_reports = raw.size();
   OWL_LOG(kInfo) << target.name << ": " << raw.size() << " raw race reports";
 
   // ---- step (2): adhoc-sync annotation + re-run ----
+  if (injector != nullptr) injector->begin_stage(PipelineStage::kAnnotation);
   std::vector<race::RaceReport> reduced;
+  result.store.set_stage(Stage::kRawDetection, raw);
   if (options_.preset_annotations != nullptr) {
     result.counts.adhoc_syncs = options_.preset_annotations->pair_count();
-    result.store.set_stage(Stage::kRawDetection, raw);
-    reduced = options_.preset_annotations->empty()
-                  ? std::move(raw)
-                  : detect(target, options_.preset_annotations);
-  } else if (options_.enable_adhoc_annotation) {
-    const sync::AnnotationOutcome outcome =
-        sync::annotate_adhoc_syncs(*target.module, raw);
-    result.counts.adhoc_syncs = outcome.unique_adhoc_syncs;
-    result.store.set_stage(Stage::kRawDetection, raw);
-    if (!outcome.annotations.empty()) {
-      reduced = detect(target, &outcome.annotations);
+    if (options_.preset_annotations->empty()) {
+      reduced = std::move(raw);
     } else {
+      reduced = detect(target, options_.preset_annotations, result.counts)
+                    .value_or(raw);  // degraded re-run: keep raw reports
+    }
+  } else if (options_.enable_adhoc_annotation) {
+    std::optional<sync::AnnotationOutcome> outcome;
+    try {
+      if (injector != nullptr) injector->maybe_throw();
+      outcome = sync::annotate_adhoc_syncs(*target.module, raw);
+    } catch (const std::exception& error) {
+      record_failure(result.counts, PipelineStage::kAnnotation,
+                     FailureCause::kException, error.what());
+    }
+    if (outcome.has_value() && !outcome->annotations.empty()) {
+      result.counts.adhoc_syncs = outcome->unique_adhoc_syncs;
+      reduced = detect(target, &outcome->annotations, result.counts)
+                    .value_or(raw);  // degraded re-run: keep raw reports
+    } else {
+      if (outcome.has_value()) {
+        result.counts.adhoc_syncs = outcome->unique_adhoc_syncs;
+      }
       reduced = std::move(raw);
     }
   } else {
-    result.store.set_stage(Stage::kRawDetection, raw);
     reduced = std::move(raw);
   }
   result.counts.after_annotation = reduced.size();
@@ -95,16 +200,97 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
   // ---- step (3): dynamic race verification ----
   std::vector<race::RaceReport> survivors;
   if (options_.enable_race_verifier) {
-    verify::RaceVerifier::Options vopts;
-    vopts.max_attempts = options_.race_verifier_attempts;
-    vopts.base_seed = target.seed * 7919 + 13;
-    const verify::RaceVerifier verifier(vopts);
-    for (race::RaceReport& report : reduced) {
-      const verify::RaceVerifyResult vr =
-          verifier.verify(report, target.factory);
-      if (vr.verified) survivors.push_back(report);
+    if (injector != nullptr) {
+      injector->begin_stage(PipelineStage::kRaceVerification);
     }
-    result.counts.verifier_eliminated = reduced.size() - survivors.size();
+    support::Budget stage_budget(options_.stage_budgets.race_verification);
+    std::size_t livelocked_reports = 0;
+    std::size_t passed_through = 0;
+    bool stage_exception_absorbed = false;
+    for (std::size_t r = 0; r < reduced.size(); ++r) {
+      race::RaceReport& report = reduced[r];
+      if (const auto cause = stage_budget.exhausted_by()) {
+        // Deadline hit mid-stage: the rest of the reports pass through
+        // unverified (conservative: degradation must not hide attacks).
+        record_failure(result.counts, PipelineStage::kRaceVerification,
+                       *cause,
+                       str_format("%zu of %zu reports passed through "
+                                  "unverified",
+                                  reduced.size() - r, reduced.size()),
+                       stage_budget.steps_spent(),
+                       stage_budget.elapsed_seconds());
+        for (std::size_t k = r; k < reduced.size(); ++k) {
+          if (options_.keep_unverified_on_degradation) {
+            survivors.push_back(reduced[k]);
+          }
+        }
+        break;
+      }
+      verify::RaceVerifyResult vr;
+      bool verify_ran = false;
+      for (unsigned attempt = 0; attempt < retry.max_attempts(); ++attempt) {
+        verify::RaceVerifier::Options vopts;
+        vopts.max_attempts = options_.race_verifier_attempts;
+        vopts.base_seed =
+            retry.seed_for(target.seed * 7919 + 13, attempt);
+        vopts.fault_injector = injector;
+        // One report may use what is left of the stage, grown per retry.
+        support::BudgetSpec per_report;
+        per_report.steps = stage_budget.remaining_steps() == UINT64_MAX
+                               ? 0
+                               : stage_budget.remaining_steps();
+        vopts.budget = retry.budget_for(per_report, attempt);
+        try {
+          if (injector != nullptr) injector->maybe_throw();
+          vr = verify::RaceVerifier(vopts).verify(report, target.factory);
+          verify_ran = true;
+          result.counts.retries_used += attempt;
+          break;
+        } catch (const std::exception& error) {
+          if (attempt + 1 >= retry.max_attempts()) {
+            if (!stage_exception_absorbed) {
+              // One record per stage; repeating it per report is noise.
+              record_failure(result.counts,
+                             PipelineStage::kRaceVerification,
+                             FailureCause::kException, error.what(), 0, 0.0,
+                             attempt);
+              stage_exception_absorbed = true;
+            }
+            result.counts.retries_used += attempt;
+          }
+        }
+      }
+      if (!verify_ran) {
+        if (options_.keep_unverified_on_degradation) {
+          survivors.push_back(report);
+          ++passed_through;
+        }
+        continue;
+      }
+      stage_budget.charge_steps(vr.steps_spent);
+      if (vr.verified) {
+        survivors.push_back(report);
+      } else if (vr.livelocked || vr.budget_exhausted) {
+        ++livelocked_reports;
+        if (options_.keep_unverified_on_degradation) {
+          survivors.push_back(report);
+          ++passed_through;
+        }
+      }
+      // else: cleanly eliminated (the R.V.E. path).
+    }
+    if (livelocked_reports > 0) {
+      record_failure(
+          result.counts, PipelineStage::kRaceVerification,
+          FailureCause::kLivelock,
+          str_format("%zu report(s) livelocked or ran out of budget; %zu "
+                     "passed through unverified",
+                     livelocked_reports, passed_through),
+          stage_budget.steps_spent(), stage_budget.elapsed_seconds());
+    }
+    result.counts.verifier_eliminated = reduced.size() >= survivors.size()
+                                            ? reduced.size() - survivors.size()
+                                            : 0;
   } else {
     survivors = std::move(reduced);
     result.counts.verifier_eliminated = 0;
@@ -115,24 +301,51 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
                  << " verified races remain";
 
   // ---- step (4): static vulnerability analysis (Algorithm 1) ----
+  if (injector != nullptr) {
+    injector->begin_stage(PipelineStage::kVulnAnalysis);
+  }
   vuln::VulnerabilityAnalyzer::Options aopts;
   aopts.mode = options_.analyzer_mode;
   const vuln::VulnerabilityAnalyzer analyzer(*target.module, aopts);
+  support::Budget analysis_budget(options_.stage_budgets.vuln_analysis);
   double analysis_seconds = 0.0;
   struct PendingAttack {
     std::size_t report_index;
     vuln::ExploitReport exploit;
   };
   std::vector<PendingAttack> pending;
+  std::size_t analysis_failures = 0;
+  std::string analysis_error;
   const std::vector<race::RaceReport>& final_reports =
       result.store.stage(Stage::kAfterRaceVerifier);
   for (std::size_t r = 0; r < final_reports.size(); ++r) {
-    const vuln::VulnAnalysis analysis = analyzer.analyze(final_reports[r]);
-    analysis_seconds += analysis.stats.seconds;
-    for (const vuln::ExploitReport& exploit : analysis.exploits) {
-      result.exploits.push_back(exploit);
-      pending.push_back({r, exploit});
+    if (const auto cause = analysis_budget.exhausted_by()) {
+      record_failure(result.counts, PipelineStage::kVulnAnalysis, *cause,
+                     str_format("%zu of %zu reports unanalyzed",
+                                final_reports.size() - r,
+                                final_reports.size()),
+                     analysis_budget.steps_spent(),
+                     analysis_budget.elapsed_seconds());
+      break;
     }
+    try {
+      if (injector != nullptr) injector->maybe_throw();
+      const vuln::VulnAnalysis analysis = analyzer.analyze(final_reports[r]);
+      analysis_seconds += analysis.stats.seconds;
+      for (const vuln::ExploitReport& exploit : analysis.exploits) {
+        result.exploits.push_back(exploit);
+        pending.push_back({r, exploit});
+      }
+    } catch (const std::exception& error) {
+      ++analysis_failures;
+      analysis_error = error.what();
+    }
+  }
+  if (analysis_failures > 0) {
+    record_failure(result.counts, PipelineStage::kVulnAnalysis,
+                   FailureCause::kException,
+                   str_format("%zu report(s) unanalyzable: %s",
+                              analysis_failures, analysis_error.c_str()));
   }
   result.counts.vulnerability_reports = result.exploits.size();
   result.counts.avg_analysis_seconds =
@@ -144,16 +357,67 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
 
   // ---- step (5): dynamic vulnerability verification ----
   if (options_.enable_vuln_verifier) {
+    if (injector != nullptr) {
+      injector->begin_stage(PipelineStage::kVulnVerification);
+    }
     const race::MachineFactory& factory =
         target.exploit_factory ? target.exploit_factory : target.factory;
-    verify::VulnVerifier::Options vopts;
-    vopts.max_attempts = options_.vuln_verifier_attempts;
-    vopts.base_seed = target.seed * 104729 + 7;
-    vopts.thread_order = target.thread_order;
-    const verify::VulnVerifier verifier(vopts);
-    for (const PendingAttack& candidate : pending) {
-      const verify::VulnVerifyResult vr = verifier.verify(
-          candidate.exploit, factory, &final_reports[candidate.report_index]);
+    support::Budget stage_budget(options_.stage_budgets.vuln_verification);
+    std::size_t livelocked_exploits = 0;
+    std::size_t skipped_exploits = 0;
+    bool stage_exception_absorbed = false;
+    for (std::size_t c = 0; c < pending.size(); ++c) {
+      const PendingAttack& candidate = pending[c];
+      if (const auto cause = stage_budget.exhausted_by()) {
+        record_failure(result.counts, PipelineStage::kVulnVerification,
+                       *cause,
+                       str_format("%zu of %zu exploit candidates unverified",
+                                  pending.size() - c, pending.size()),
+                       stage_budget.steps_spent(),
+                       stage_budget.elapsed_seconds());
+        break;
+      }
+      verify::VulnVerifyResult vr;
+      bool verify_ran = false;
+      for (unsigned attempt = 0; attempt < retry.max_attempts(); ++attempt) {
+        verify::VulnVerifier::Options vopts;
+        vopts.max_attempts = options_.vuln_verifier_attempts;
+        vopts.base_seed =
+            retry.seed_for(target.seed * 104729 + 7, attempt);
+        vopts.thread_order = target.thread_order;
+        vopts.fault_injector = injector;
+        support::BudgetSpec per_exploit;
+        per_exploit.steps = stage_budget.remaining_steps() == UINT64_MAX
+                                ? 0
+                                : stage_budget.remaining_steps();
+        vopts.budget = retry.budget_for(per_exploit, attempt);
+        try {
+          if (injector != nullptr) injector->maybe_throw();
+          vr = verify::VulnVerifier(vopts).verify(
+              candidate.exploit, factory,
+              &final_reports[candidate.report_index]);
+          verify_ran = true;
+          result.counts.retries_used += attempt;
+          break;
+        } catch (const std::exception& error) {
+          if (attempt + 1 >= retry.max_attempts()) {
+            if (!stage_exception_absorbed) {
+              record_failure(result.counts,
+                             PipelineStage::kVulnVerification,
+                             FailureCause::kException, error.what(), 0, 0.0,
+                             attempt);
+              stage_exception_absorbed = true;
+            }
+            result.counts.retries_used += attempt;
+          }
+        }
+      }
+      if (!verify_ran) {
+        ++skipped_exploits;
+        continue;
+      }
+      stage_budget.charge_steps(vr.steps_spent);
+      if (vr.livelocked) ++livelocked_exploits;
       if (!vr.site_reached) continue;
       ConcurrencyAttack attack;
       attack.program = target.name;
@@ -161,6 +425,14 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
       attack.exploit = candidate.exploit;
       attack.verification = vr;
       result.attacks.push_back(std::move(attack));
+    }
+    if (livelocked_exploits > 0) {
+      record_failure(result.counts, PipelineStage::kVulnVerification,
+                     FailureCause::kLivelock,
+                     str_format("%zu exploit session(s) livelocked",
+                                livelocked_exploits),
+                     stage_budget.steps_spent(),
+                     stage_budget.elapsed_seconds());
     }
     OWL_LOG(kInfo) << target.name << ": " << result.attacks.size()
                    << " attack candidates reached their site, "
@@ -171,6 +443,27 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return result;
+}
+
+std::vector<PipelineResult> Pipeline::run_many(
+    const std::vector<PipelineTarget>& targets) const {
+  std::vector<PipelineResult> results;
+  results.reserve(targets.size());
+  for (const PipelineTarget& target : targets) {
+    try {
+      results.push_back(run(target));
+    } catch (const std::exception& error) {
+      // run() isolates its own stages; this catches failures outside them
+      // (e.g. a throwing machine factory or a malformed module). The target
+      // is reported degraded at the driver level and the run continues.
+      PipelineResult failed;
+      failed.target_name = target.name;
+      record_failure(failed.counts, PipelineStage::kDriver,
+                     FailureCause::kException, error.what());
+      results.push_back(std::move(failed));
+    }
+  }
+  return results;
 }
 
 }  // namespace owl::core

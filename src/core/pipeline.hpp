@@ -21,6 +21,9 @@
 #include "core/attack.hpp"
 #include "core/report_store.hpp"
 #include "race/ski_detector.hpp"
+#include "support/deadline.hpp"
+#include "support/fault_injector.hpp"
+#include "support/retry.hpp"
 #include "verify/race_verifier.hpp"
 #include "verify/vuln_verifier.hpp"
 #include "vuln/analyzer.hpp"
@@ -49,6 +52,27 @@ struct PipelineTarget {
   std::uint64_t seed = 1;
 };
 
+/// Per-stage allowances for the Fig. 3 stages (unlimited by default).
+/// Replaces the single Machine::max_steps cliff with stage-scoped budgets:
+/// a stage that exhausts its allowance degrades (FailureRecord on the
+/// target's StageCounts) instead of running unbounded.
+struct StageBudgets {
+  support::BudgetSpec detection;          ///< steps (1)+(2): detector runs
+  support::BudgetSpec race_verification;  ///< step (3)
+  support::BudgetSpec vuln_analysis;      ///< step (4)
+  support::BudgetSpec vuln_verification;  ///< step (5)
+
+  /// Applies one wall-clock deadline to every stage (CLI --stage-deadline).
+  static StageBudgets uniform_wall(double seconds) {
+    StageBudgets budgets;
+    budgets.detection.wall_seconds = seconds;
+    budgets.race_verification.wall_seconds = seconds;
+    budgets.vuln_analysis.wall_seconds = seconds;
+    budgets.vuln_verification.wall_seconds = seconds;
+    return budgets;
+  }
+};
+
 struct PipelineOptions {
   bool enable_adhoc_annotation = true;  ///< ablation knob (step 2)
   /// When set, step (2) applies these annotations instead of running OWL's
@@ -62,9 +86,24 @@ struct PipelineOptions {
   unsigned vuln_verifier_attempts = 8;
   vuln::VulnerabilityAnalyzer::Mode analyzer_mode =
       vuln::VulnerabilityAnalyzer::Mode::kDirected;
+
+  // --- resilience layer ---
+  StageBudgets stage_budgets;          ///< per-stage deadlines/step budgets
+  /// Retry policy for the schedule-dependent stages (detection re-runs,
+  /// racing-moment capture, vulnerability verification): seed rotation +
+  /// exponential budget growth per retry.
+  support::RetryPolicy retry;
+  /// Deterministic fault-injection harness; null disables injection. Not
+  /// owned; must outlive the pipeline run.
+  support::FaultInjector* fault_injector = nullptr;
+  /// Keep reports the race verifier could not process (livelock/budget) in
+  /// the surviving set instead of silently eliminating them. Conservative
+  /// for security: degradation must not hide a potential attack.
+  bool keep_unverified_on_degradation = true;
 };
 
 struct PipelineResult {
+  std::string target_name;
   StageCounts counts;
   ReportStore store;
   /// Vulnerability reports (vulnerable input hints) per surviving race.
@@ -75,6 +114,8 @@ struct PipelineResult {
 
   /// Attacks with a realized security consequence.
   std::size_t confirmed_attacks() const noexcept;
+  /// One or more stages degraded (see counts.failures).
+  bool degraded() const noexcept { return counts.degraded(); }
 };
 
 class Pipeline {
@@ -82,15 +123,36 @@ class Pipeline {
   Pipeline() : Pipeline(PipelineOptions{}) {}
   explicit Pipeline(PipelineOptions options) : options_(std::move(options)) {}
 
+  /// Runs the five Fig. 3 stages on one target. Never throws: a stage
+  /// failure (exception, livelock, stall, budget exhaustion) is retried per
+  /// the RetryPolicy where that makes sense, then absorbed as a
+  /// FailureRecord on the result's StageCounts and the remaining stages run
+  /// on best-effort inputs.
   PipelineResult run(const PipelineTarget& target) const;
+
+  /// Multi-target driver with per-target fault isolation: one result per
+  /// target in order; a target that fails catastrophically (even outside
+  /// run()'s own isolation, e.g. a throwing machine factory) yields a
+  /// driver-stage FailureRecord instead of sinking the whole run.
+  std::vector<PipelineResult> run_many(
+      const std::vector<PipelineTarget>& targets) const;
 
   const PipelineOptions& options() const noexcept { return options_; }
 
  private:
-  /// Steps (1)/(2): run the configured detector over N schedules.
-  std::vector<race::RaceReport> detect(
-      const PipelineTarget& target,
-      const race::AnnotationSet* annotations) const;
+  /// Steps (1)/(2): run the configured detector over N schedules under the
+  /// detection budget, retrying per policy on a thrown fault. Failures are
+  /// recorded on `counts`; nullopt means every attempt failed (the caller
+  /// picks the fallback: empty for step (1), the raw reports for step (2)).
+  std::optional<std::vector<race::RaceReport>> detect(
+      const PipelineTarget& target, const race::AnnotationSet* annotations,
+      StageCounts& counts) const;
+
+  /// One detection pass (no retry wrapper); throws on detector faults.
+  std::vector<race::RaceReport> detect_once(
+      const PipelineTarget& target, const race::AnnotationSet* annotations,
+      std::uint64_t base_seed, support::Budget& budget,
+      StageCounts& counts) const;
 
   PipelineOptions options_;
 };

@@ -1,7 +1,5 @@
 #include "core/report_store.hpp"
 
-#include <cassert>
-
 namespace owl::core {
 
 void ReportStore::set_stage(Stage stage, std::vector<race::RaceReport> reports) {
@@ -10,7 +8,8 @@ void ReportStore::set_stage(Stage stage, std::vector<race::RaceReport> reports) 
 }
 
 const std::vector<race::RaceReport>& ReportStore::stage(Stage stage) const {
-  assert(present_[index_of(stage)] && "stage not recorded");
+  static const std::vector<race::RaceReport> kEmpty;
+  if (!present_[index_of(stage)]) return kEmpty;
   return stages_[index_of(stage)];
 }
 

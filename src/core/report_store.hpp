@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "race/report.hpp"
+#include "support/failure.hpp"
 
 namespace owl::core {
 
@@ -26,6 +27,19 @@ struct StageCounts {
   double avg_analysis_seconds = 0.0;    ///< A.C. per report
   std::size_t vulnerability_reports = 0;///< OWL's final reports (Table 2)
 
+  // --- resilience accounting (Table 2/3's resilience column) ---
+  /// Stage failures absorbed by the resilience layer. Non-empty means the
+  /// row's numbers are best-effort under degradation, not a crash.
+  std::vector<support::FailureRecord> failures;
+  /// Retries consumed by the schedule-dependent stages.
+  unsigned retries_used = 0;
+
+  bool degraded() const noexcept { return !failures.empty(); }
+  /// "ok" or "degraded(stage:cause,...)" for table cells.
+  std::string resilience_summary() const {
+    return support::failure_summary(failures);
+  }
+
   /// Fraction of raw reports pruned before vulnerability analysis.
   double reduction_ratio() const noexcept {
     if (raw_reports == 0) return 0.0;
@@ -38,6 +52,9 @@ struct StageCounts {
 class ReportStore {
  public:
   void set_stage(Stage stage, std::vector<race::RaceReport> reports);
+  /// Reports recorded at `stage`; an unrecorded stage yields an empty
+  /// vector (a degraded pipeline may legally skip stages, so reading one
+  /// must not be a crash vector).
   const std::vector<race::RaceReport>& stage(Stage stage) const;
   bool has_stage(Stage stage) const noexcept;
 

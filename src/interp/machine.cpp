@@ -135,6 +135,15 @@ RunResult Machine::run(Scheduler& scheduler) {
       return {StopReason::kStepBudget, steps_, std::nullopt, 0};
     }
 
+    if (fault_injector_ != nullptr && fault_injector_->should_stall()) {
+      // Injected scheduler stall: the step is burned without executing, so
+      // a persistent stall deterministically exhausts the step budget —
+      // exactly how a pathological schedule looks from the outside.
+      ++steps_;
+      ++tick_;
+      continue;
+    }
+
     std::vector<ThreadId> runnable = runnable_threads();
     if (runnable.empty()) {
       bool all_finished = true;
@@ -184,8 +193,15 @@ RunResult Machine::run(Scheduler& scheduler) {
       continue;
     }
 
-    if (debugger_ != nullptr && !t.skip_breakpoint_once) {
+    const bool honor_skip =
+        t.skip_breakpoint_once &&
+        (fault_injector_ == nullptr ||
+         !fault_injector_->livelock_breakpoints());
+    if (debugger_ != nullptr && !honor_skip) {
       if (Breakpoint* bp = debugger_->match(tid, instr)) {
+        // With an injected breakpoint livelock the skip-once release is
+        // ignored: the thread re-suspends with zero progress, which is the
+        // verifier-session livelock the stage watchdogs must break.
         t.set_state(ThreadState::kSuspended);
         return {StopReason::kBreakpoint, steps_, tid, bp->id};
       }
@@ -389,11 +405,17 @@ void Machine::emit_event(SecurityEventKind kind, Thread& thread,
 }
 
 void Machine::notify_access(const Observer::Access& access) {
+  if (fault_injector_ != nullptr && fault_injector_->truncate_events()) {
+    return;  // injected truncation: observers miss this event
+  }
   for (Observer* obs : observers_) obs->on_access(access, *this);
 }
 
 void Machine::notify_sync(ThreadId tid, Observer::SyncKind kind,
                           Address addr) {
+  if (fault_injector_ != nullptr && fault_injector_->truncate_events()) {
+    return;
+  }
   const Observer::Sync sync{tid, kind, addr};
   for (Observer* obs : observers_) obs->on_sync(sync, *this);
 }

@@ -18,6 +18,7 @@
 #include "interp/memory.hpp"
 #include "interp/scheduler.hpp"
 #include "interp/thread.hpp"
+#include "support/fault_injector.hpp"
 #include "support/status.hpp"
 
 namespace owl::interp {
@@ -144,6 +145,12 @@ class Machine {
 
   void add_observer(Observer* observer) { observers_.push_back(observer); }
   void set_debugger(Debugger* debugger) noexcept { debugger_ = debugger; }
+  /// Attaches the resilience layer's fault-injection harness (may be null).
+  /// The machine probes it for scheduler stalls, breakpoint livelocks, and
+  /// event-stream truncation; see support/fault_injector.hpp.
+  void set_fault_injector(support::FaultInjector* injector) noexcept {
+    fault_injector_ = injector;
+  }
 
   // --- execution ---
   /// Runs under `scheduler` until a stop condition. Can be called again
@@ -244,6 +251,7 @@ class Machine {
   std::vector<std::unique_ptr<Thread>> threads_;
   std::vector<Observer*> observers_;
   Debugger* debugger_ = nullptr;
+  support::FaultInjector* fault_injector_ = nullptr;
 
   std::unordered_map<const ir::GlobalVariable*, Address> global_addr_;
   std::unordered_map<std::uint64_t, const ir::Function*> functions_by_id_;

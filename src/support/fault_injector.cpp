@@ -1,0 +1,76 @@
+#include "support/fault_injector.hpp"
+
+#include "support/strings.hpp"
+
+namespace owl::support {
+
+std::string_view fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kSchedulerStall: return "scheduler-stall";
+    case FaultKind::kBreakpointLivelock: return "breakpoint-livelock";
+    case FaultKind::kStageException: return "stage-exception";
+    case FaultKind::kTruncatedEvents: return "truncated-events";
+  }
+  return "?";
+}
+
+void FaultInjector::begin_target(std::string_view name) {
+  target_.assign(name);
+  for (PlanState& state : plans_) {
+    state.probes = 0;
+    state.logged_in_context = false;
+  }
+}
+
+void FaultInjector::begin_stage(PipelineStage stage) {
+  stage_ = stage;
+  stage_mark_ = events_.size();
+  for (PlanState& state : plans_) {
+    state.probes = 0;
+    state.logged_in_context = false;
+  }
+}
+
+bool FaultInjector::fired_in_stage(FaultKind kind) const noexcept {
+  for (std::size_t i = stage_mark_; i < events_.size(); ++i) {
+    if (events_[i].kind == kind) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::probe(FaultKind kind) {
+  bool fire = false;
+  for (PlanState& state : plans_) {
+    const FaultPlan& plan = state.plan;
+    if (plan.kind != kind || plan.stage != stage_) continue;
+    if (!plan.target.empty() && plan.target != target_) continue;
+    const std::uint64_t probe_index = state.probes++;
+    if (probe_index < plan.after) continue;
+    if (plan.count != 0 && state.fired >= plan.count) continue;
+    if (plan.probability_percent < 100 &&
+        !rng_.chance(plan.probability_percent, 100)) {
+      continue;
+    }
+    if (!state.logged_in_context) {
+      // First firing in this context: log it (bounded — high-frequency
+      // probes like stalls fire millions of times but log once).
+      events_.push_back({kind, stage_, target_});
+      state.logged_in_context = true;
+    }
+    ++state.fired;
+    ++fired_total_;
+    fire = true;
+  }
+  return fire;
+}
+
+void FaultInjector::maybe_throw() {
+  if (probe(FaultKind::kStageException)) {
+    throw InjectedFault(str_format(
+        "injected exception in %s on %s",
+        std::string(pipeline_stage_name(stage_)).c_str(),
+        target_.empty() ? "<unnamed>" : target_.c_str()));
+  }
+}
+
+}  // namespace owl::support

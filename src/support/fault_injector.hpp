@@ -1,0 +1,129 @@
+// Deterministic, seed-controlled fault injection for the pipeline.
+//
+// The resilience layer's claims ("a stalled schedule, a livelocked verifier
+// session, or a detector crash degrades one target, not the run") are only
+// trustworthy if they can be proven on demand. The FaultInjector is that
+// proof harness: the pipeline driver pushes (target, stage) context, and
+// instrumented code deep in the interpreter, the debugger layer, and the
+// detectors probes it at well-defined points. Plans fire deterministically
+// (after N matching probes, at most M times) with an optional seed-driven
+// dilution, so every injected failure is replayable from its seed.
+//
+// Fault classes (mapped to the real-world failure modes of §5.2 and the
+// surveyed detectors):
+//  - kSchedulerStall:     the machine's run loop burns steps without
+//                         executing instructions — a pathological schedule
+//                         that exhausts the stage's step budget;
+//  - kBreakpointLivelock: released breakpoints re-trigger without progress
+//                         — a livelocked verifier session the §5.2 release
+//                         rule alone cannot break (watchdog territory);
+//  - kStageException:     a spurious detector/analyzer exception at stage
+//                         entry (throws InjectedFault);
+//  - kTruncatedEvents:    the machine stops delivering memory/sync events
+//                         to its observers mid-stream.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/failure.hpp"
+#include "support/rng.hpp"
+
+namespace owl::support {
+
+enum class FaultKind {
+  kSchedulerStall,
+  kBreakpointLivelock,
+  kStageException,
+  kTruncatedEvents,
+};
+
+std::string_view fault_kind_name(FaultKind kind) noexcept;
+
+/// The exception kStageException raises. Derived from std::runtime_error so
+/// generic stage isolation catches it like any detector bug would be caught.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One scheduled fault. Matching is by (kind, stage, target); firing is
+/// deterministic in the probe sequence.
+struct FaultPlan {
+  FaultKind kind = FaultKind::kStageException;
+  PipelineStage stage = PipelineStage::kDetection;
+  std::string target;       ///< exact workload name; empty matches any
+  std::uint64_t after = 0;  ///< skip the first N matching probes
+  std::uint64_t count = 0;  ///< fire at most N times (0 = unlimited)
+  /// Seed-controlled dilution: each eligible probe fires with this
+  /// percentage (100 = always). Deterministic per injector seed.
+  unsigned probability_percent = 100;
+};
+
+/// First firing of a plan within one (target, stage) context.
+struct InjectionEvent {
+  FaultKind kind;
+  PipelineStage stage;
+  std::string target;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0x0417) : rng_(seed) {}
+
+  void add_plan(FaultPlan plan) {
+    plans_.push_back({std::move(plan), 0, 0, false});
+  }
+  bool empty() const noexcept { return plans_.empty(); }
+
+  // --- context, pushed by the pipeline driver ---
+  void begin_target(std::string_view name);
+  void begin_stage(PipelineStage stage);
+  const std::string& current_target() const noexcept { return target_; }
+  PipelineStage current_stage() const noexcept { return stage_; }
+
+  // --- probes, called from instrumented code ---
+  /// Machine run loop: burn this step instead of executing?
+  bool should_stall() { return probe(FaultKind::kSchedulerStall); }
+  /// Debugger layer: ignore the skip-once flag so a released breakpoint
+  /// re-triggers immediately (verifier livelock)?
+  bool livelock_breakpoints() { return probe(FaultKind::kBreakpointLivelock); }
+  /// Machine observer dispatch: drop this event (truncated stream)?
+  bool truncate_events() { return probe(FaultKind::kTruncatedEvents); }
+  /// Stage entry: throws InjectedFault when a kStageException plan fires.
+  void maybe_throw();
+
+  // --- accounting ---
+  /// First-fire-per-context log (bounded: one entry per plan per context).
+  const std::vector<InjectionEvent>& events() const noexcept {
+    return events_;
+  }
+  /// Did `kind` fire since the last begin_stage()? The pipeline uses this
+  /// to attribute non-throwing faults (stalls, truncation) to the stage.
+  bool fired_in_stage(FaultKind kind) const noexcept;
+  /// Total probe firings (all plans, all contexts).
+  std::uint64_t fired_total() const noexcept { return fired_total_; }
+
+ private:
+  struct PlanState {
+    FaultPlan plan;
+    std::uint64_t probes = 0;  ///< matching probes seen in current context
+    std::uint64_t fired = 0;   ///< lifetime firings
+    bool logged_in_context = false;
+  };
+
+  bool probe(FaultKind kind);
+
+  std::vector<PlanState> plans_;
+  Rng rng_;
+  std::string target_;
+  PipelineStage stage_ = PipelineStage::kDriver;
+  std::vector<InjectionEvent> events_;
+  std::size_t stage_mark_ = 0;  ///< events_ size at last begin_stage
+  std::uint64_t fired_total_ = 0;
+};
+
+}  // namespace owl::support

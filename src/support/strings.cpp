@@ -93,7 +93,9 @@ bool parse_int64(std::string_view text, std::int64_t& out) noexcept {
     if (acc > (limit - digit) / 10) return false;
     acc = acc * 10 + digit;
   }
-  out = negative ? -static_cast<std::int64_t>(acc)
+  // Negate in unsigned space: -INT64_MIN is not representable, but its
+  // two's-complement bit pattern is, and the C++20 cast is well-defined.
+  out = negative ? static_cast<std::int64_t>(~acc + 1)
                  : static_cast<std::int64_t>(acc);
   return true;
 }

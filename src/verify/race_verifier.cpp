@@ -37,11 +37,18 @@ RaceVerifyResult RaceVerifier::verify(race::RaceReport& report,
     return verify_atomicity(report, factory);
   }
 
+  support::Budget budget(options_.budget);
+  bool any_livelock = false;
   for (unsigned attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (budget.exhausted()) {
+      result.budget_exhausted = true;
+      break;
+    }
     ++result.attempts;
     std::unique_ptr<interp::Machine> machine = factory();
     interp::Debugger debugger;
     machine->set_debugger(&debugger);
+    machine->set_fault_injector(options_.fault_injector);
 
     // Thread-specific breakpoints right at the racing instructions.
     const interp::BreakpointId bp_a =
@@ -53,9 +60,25 @@ RaceVerifyResult RaceVerifier::verify(race::RaceReport& report,
     bool suspended_a = false;
     bool suspended_b = false;
     bool done = false;
+    std::uint64_t releases = 0;
+    std::uint64_t iterations = 0;
+    std::uint64_t last_steps = 0;
 
     while (!done) {
+      if (++iterations > options_.watchdog_iterations) {
+        // Watchdog: the session is cycling between break and release with
+        // no hope of progress (e.g. an injected breakpoint livelock).
+        any_livelock = true;
+        break;
+      }
       const interp::RunResult run = machine->run(scheduler);
+      result.steps_spent += run.steps - last_steps;
+      budget.charge_steps(run.steps - last_steps);
+      last_steps = run.steps;
+      if (budget.exhausted()) {
+        result.budget_exhausted = true;
+        break;
+      }
       switch (run.reason) {
         case interp::StopReason::kBreakpoint: {
           if (run.break_id == bp_a) suspended_a = true;
@@ -114,11 +137,22 @@ RaceVerifyResult RaceVerifier::verify(race::RaceReport& report,
         }
         case interp::StopReason::kAllSuspended:
           // Livelock: the threads everyone waits on are the suspended ones.
-          // Temporarily release one triggered breakpoint (§5.2).
+          // Temporarily release one triggered breakpoint (§5.2) — but only
+          // `livelock_release_after` times per attempt; past that the
+          // attempt is declared livelocked and a fresh seed is tried.
+          if (releases >= options_.livelock_release_after) {
+            any_livelock = true;
+            done = true;
+            break;
+          }
           if (suspended_a) {
+            ++releases;
+            ++result.livelock_releases;
             (void)machine->resume_thread(a.tid, true);
             suspended_a = false;
           } else if (suspended_b) {
+            ++releases;
+            ++result.livelock_releases;
             (void)machine->resume_thread(b.tid, true);
             suspended_b = false;
           } else {
@@ -138,7 +172,9 @@ RaceVerifyResult RaceVerifier::verify(race::RaceReport& report,
       report.security_hint = result.security_hint;
       return result;
     }
+    if (result.budget_exhausted) break;
   }
+  result.livelocked = any_livelock && !result.verified;
   return result;
 }
 
@@ -150,13 +186,21 @@ RaceVerifyResult RaceVerifier::verify_atomicity(
   // same unserializable triple re-manifests.
   RaceVerifyResult result;
   const auto want = report.key();
+  support::Budget budget(options_.budget);
   for (unsigned attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (budget.exhausted()) {
+      result.budget_exhausted = true;
+      break;
+    }
     ++result.attempts;
     std::unique_ptr<interp::Machine> machine = factory();
+    machine->set_fault_injector(options_.fault_injector);
     race::AtomicityDetector detector;
     machine->add_observer(&detector);
     interp::RandomScheduler scheduler(options_.base_seed + 31 * attempt + 5);
-    machine->run(scheduler);
+    const interp::RunResult run = machine->run(scheduler);
+    result.steps_spent += run.steps;
+    budget.charge_steps(run.steps);
     for (const race::AtomicityReport& found : detector.reports()) {
       if (found.to_race_report().key() != want) continue;
       result.verified = true;

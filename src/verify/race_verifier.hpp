@@ -18,6 +18,8 @@
 
 #include "race/report.hpp"
 #include "race/ski_detector.hpp"  // MachineFactory
+#include "support/deadline.hpp"
+#include "support/fault_injector.hpp"
 
 namespace owl::verify {
 
@@ -31,6 +33,17 @@ struct RaceVerifyResult {
   bool reads_uninitialized = false;///< read observes a never-written cell
   std::string variable_type;       ///< static type of the racy operand
   std::string security_hint;       ///< the rendered §5.2 hint block
+
+  // --- resilience accounting ---
+  /// Times the §5.2 livelock-release rule fired (across all attempts).
+  unsigned livelock_releases = 0;
+  /// The session livelocked (release allowance or watchdog exhausted on an
+  /// attempt) and the report was never verified.
+  bool livelocked = false;
+  /// The per-report Budget ran out before the attempts did.
+  bool budget_exhausted = false;
+  /// Interpreter steps spent verifying this report.
+  std::uint64_t steps_spent = 0;
 };
 
 class RaceVerifier {
@@ -38,7 +51,18 @@ class RaceVerifier {
   struct Options {
     unsigned max_attempts = 8;
     std::uint64_t base_seed = 0x5eed;
-    std::uint64_t livelock_release_after = 1;  ///< releases before retrying
+    /// §5.2 release rule allowance: breakpoint releases per attempt before
+    /// the attempt is declared livelocked and a fresh seed is tried.
+    std::uint64_t livelock_release_after = 1;
+    /// Watchdog: machine-run resumptions per attempt before the verifier
+    /// session is declared livelocked (breaks zero-progress break/release
+    /// cycles that never reach the release rule).
+    std::uint64_t watchdog_iterations = 4096;
+    /// Per-report verification budget (wall clock + interpreter steps);
+    /// default unlimited.
+    support::BudgetSpec budget;
+    /// Resilience-layer fault-injection harness (may be null; not owned).
+    support::FaultInjector* fault_injector = nullptr;
   };
 
   RaceVerifier() : RaceVerifier(Options{}) {}

@@ -68,7 +68,13 @@ VulnVerifyResult VulnVerifier::verify(const vuln::ExploitReport& exploit,
                          racy_write->instr != nullptr &&
                          racy_read->tid != racy_write->tid;
 
+  support::Budget budget(options_.budget);
+  bool any_livelock = false;
   for (unsigned attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (budget.exhausted()) {
+      result.budget_exhausted = true;
+      break;
+    }
     ++result.attempts;
     Steering steering = Steering::kFree;
     if (can_steer) {
@@ -82,6 +88,7 @@ VulnVerifyResult VulnVerifier::verify(const vuln::ExploitReport& exploit,
     std::unique_ptr<interp::Machine> machine = factory();
     interp::Debugger debugger;
     machine->set_debugger(&debugger);
+    machine->set_fault_injector(options_.fault_injector);
 
     const interp::BreakpointId site_bp = debugger.add_breakpoint(exploit.site);
     std::unordered_map<interp::BreakpointId, const ir::Instruction*>
@@ -118,8 +125,23 @@ VulnVerifyResult VulnVerifier::verify(const vuln::ExploitReport& exploit,
     bool first_done = steering == Steering::kFree;
     bool second_parked = false;
     bool done = false;
+    std::uint64_t iterations = 0;
+    std::uint64_t last_steps = 0;
     while (!done) {
+      if (++iterations > options_.watchdog_iterations) {
+        // Watchdog: a zero-progress break/release cycle (e.g. an injected
+        // breakpoint livelock) — abandon the attempt.
+        any_livelock = true;
+        break;
+      }
       const interp::RunResult run = machine->run(*scheduler);
+      result.steps_spent += run.steps - last_steps;
+      budget.charge_steps(run.steps - last_steps);
+      last_steps = run.steps;
+      if (budget.exhausted()) {
+        result.budget_exhausted = true;
+        break;
+      }
       switch (run.reason) {
         case interp::StopReason::kBreakpoint: {
           if (run.break_id == site_bp) {
@@ -196,8 +218,10 @@ VulnVerifyResult VulnVerifier::verify(const vuln::ExploitReport& exploit,
       }
       // Site reached but no consequence yet: keep exploring schedules.
     }
+    if (result.budget_exhausted) break;
   }
 
+  result.livelocked = any_livelock && !result.site_reached;
   if (!result.site_reached) {
     for (const ir::Instruction* br : exploit.branches) {
       if (!branches_satisfied.contains(br)) {

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "race/ski_detector.hpp"  // MachineFactory
+#include "support/deadline.hpp"
+#include "support/fault_injector.hpp"
 #include "vuln/analyzer.hpp"
 
 namespace owl::verify {
@@ -36,6 +38,15 @@ struct VulnVerifyResult {
   std::vector<const ir::Instruction*> diverged_branches;
   /// Security events observed on the best run.
   std::vector<interp::SecurityEvent> events;
+
+  // --- resilience accounting ---
+  /// A verification session livelocked (watchdog fired) without reaching
+  /// the site.
+  bool livelocked = false;
+  /// The per-exploit Budget ran out before the attempts did.
+  bool budget_exhausted = false;
+  /// Interpreter steps spent verifying this exploit.
+  std::uint64_t steps_spent = 0;
 };
 
 class VulnVerifier {
@@ -46,6 +57,13 @@ class VulnVerifier {
     /// Prefer running these threads first (exploit-driver ordering hint);
     /// used on attempts without race-order steering.
     std::vector<interp::ThreadId> thread_order;
+    /// Watchdog: machine-run resumptions per attempt before the session is
+    /// declared livelocked (zero-progress break/release cycles).
+    std::uint64_t watchdog_iterations = 4096;
+    /// Per-exploit verification budget; default unlimited.
+    support::BudgetSpec budget;
+    /// Resilience-layer fault-injection harness (may be null; not owned).
+    support::FaultInjector* fault_injector = nullptr;
   };
 
   VulnVerifier() : VulnVerifier(Options{}) {}

@@ -213,6 +213,64 @@ entry:
   EXPECT_GE(result.attempts, 1u);
 }
 
+TEST(RaceVerifierTest, LivelockReleaseFiresAndStillConfirmsRace) {
+  // The writer's racy store sits inside @mu's critical section; the
+  // reader's racy load sits just after its own lock/unlock of @mu. Parking
+  // the writer at the store leaves it holding @mu, so the reader blocks on
+  // its lock and the session livelocks (kAllSuspended). The §5.2 release
+  // rule must fire — and because the writer loops, it comes back to the
+  // store on the next iteration while the freed reader reaches its load:
+  // the race is still confirmed, through the release.
+  auto m = parse_ok(R"(module lr
+global @x
+global @mu
+func @writer() {
+entry:
+  jmp loop
+loop:
+  %i = phi [0, entry], [%n, loop]
+  lock @mu
+  store %i, @x
+  unlock @mu
+  io_delay 6
+  %n = add %i, 1
+  %c = icmp slt %n, 40
+  br %c, loop, out
+out:
+  ret
+}
+func @reader() {
+entry:
+  io_delay 50
+  lock @mu
+  unlock @mu
+  %v = load @x
+  ret
+}
+func @main() {
+entry:
+  %a = thread_create @writer, 0
+  %b = thread_create @reader, 0
+  thread_join %a
+  thread_join %b
+  ret
+}
+)");
+  auto reports = detect(*m);
+  race::RaceReport* x_report = nullptr;
+  for (race::RaceReport& r : reports) {
+    if (r.object_name == "x") x_report = &r;
+  }
+  ASSERT_NE(x_report, nullptr);
+
+  const RaceVerifier verifier;
+  const RaceVerifyResult result = verifier.verify(*x_report, factory_for(*m));
+  EXPECT_TRUE(result.verified);
+  EXPECT_GE(result.livelock_releases, 1u);
+  EXPECT_FALSE(result.livelocked);
+  EXPECT_TRUE(x_report->verified);
+}
+
 TEST(RaceVerifierTest, ReportsWithoutInstructionsRejected) {
   auto m = parse_ok(kSteadyRace);
   race::RaceReport empty;

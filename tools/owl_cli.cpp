@@ -15,6 +15,15 @@
 //   --no-adhoc             disable adhoc-sync annotation (stage 2)
 //   --no-race-verifier     disable dynamic race verification (stage 3)
 //   --no-vuln-verifier     disable dynamic attack verification (stage 5)
+//   --stage-deadline S     wall-clock deadline (seconds, fractional ok) for
+//                          every pipeline stage; a stage that exhausts it
+//                          degrades instead of running unbounded
+//   --retries N            retries for schedule-dependent stages (default: 2)
+//   --inject-fault SPEC    deterministic fault injection, repeatable.
+//                          SPEC = stage:kind[:after] with
+//                          stage in detect|annotate|race-verify|vuln-analyze|
+//                          vuln-verify and kind in stall|livelock|throw|
+//                          truncate; `after` skips the first N probes
 //   --whole-program        ablation: ignore runtime call stacks
 //   --print-module         echo the parsed module before analyzing
 //   --print-reports        print every surviving race report
@@ -23,6 +32,7 @@
 // Exit status: 0 when the pipeline ran (regardless of findings), 1 on
 // usage/parse errors, 2 when the module fails verification.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -55,6 +65,9 @@ struct CliOptions {
   bool print_module = false;
   bool print_reports = false;
   bool quiet = false;
+  double stage_deadline = 0.0;  ///< 0 = unlimited
+  unsigned retries = 2;
+  std::vector<support::FaultPlan> fault_plans;
 };
 
 void usage() {
@@ -64,7 +77,44 @@ void usage() {
                "       [--seed S] [--max-steps N] [--no-adhoc]\n"
                "       [--no-race-verifier] [--no-vuln-verifier]\n"
                "       [--whole-program] [--print-module] [--print-reports]\n"
-               "       [-q|--quiet]\n");
+               "       [--stage-deadline S] [--retries N]\n"
+               "       [--inject-fault stage:kind[:after]] [-q|--quiet]\n");
+}
+
+/// Parses "stage:kind[:after]" into a FaultPlan (see header comment).
+bool parse_fault_spec(const char* text, support::FaultPlan& plan) {
+  const std::vector<std::string> parts = split(text, ':');
+  if (parts.size() < 2 || parts.size() > 3) return false;
+  if (parts[0] == "detect") {
+    plan.stage = support::PipelineStage::kDetection;
+  } else if (parts[0] == "annotate") {
+    plan.stage = support::PipelineStage::kAnnotation;
+  } else if (parts[0] == "race-verify") {
+    plan.stage = support::PipelineStage::kRaceVerification;
+  } else if (parts[0] == "vuln-analyze") {
+    plan.stage = support::PipelineStage::kVulnAnalysis;
+  } else if (parts[0] == "vuln-verify") {
+    plan.stage = support::PipelineStage::kVulnVerification;
+  } else {
+    return false;
+  }
+  if (parts[1] == "stall") {
+    plan.kind = support::FaultKind::kSchedulerStall;
+  } else if (parts[1] == "livelock") {
+    plan.kind = support::FaultKind::kBreakpointLivelock;
+  } else if (parts[1] == "throw") {
+    plan.kind = support::FaultKind::kStageException;
+  } else if (parts[1] == "truncate") {
+    plan.kind = support::FaultKind::kTruncatedEvents;
+  } else {
+    return false;
+  }
+  if (parts.size() == 3) {
+    std::int64_t after = 0;
+    if (!parse_int64(parts[2], after) || after < 0) return false;
+    plan.after = static_cast<std::uint64_t>(after);
+  }
+  return true;
 }
 
 bool parse_word_list(const char* text, std::vector<interp::Word>& out) {
@@ -121,6 +171,24 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       std::int64_t n = 0;
       if (v == nullptr || !parse_int64(v, n) || n <= 0) return false;
       options.max_steps = static_cast<std::uint64_t>(n);
+    } else if (arg == "--stage-deadline") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      options.stage_deadline = std::strtod(v, &end);
+      if (end == v || *end != '\0' || options.stage_deadline <= 0) {
+        return false;
+      }
+    } else if (arg == "--retries") {
+      const char* v = next();
+      std::int64_t n = 0;
+      if (v == nullptr || !parse_int64(v, n) || n < 0) return false;
+      options.retries = static_cast<unsigned>(n);
+    } else if (arg == "--inject-fault") {
+      const char* v = next();
+      support::FaultPlan plan;
+      if (v == nullptr || !parse_fault_spec(v, plan)) return false;
+      options.fault_plans.push_back(std::move(plan));
     } else if (arg == "--no-adhoc") {
       options.adhoc = false;
     } else if (arg == "--no-race-verifier") {
@@ -217,6 +285,16 @@ int main(int argc, char** argv) {
   pipeline_options.analyzer_mode =
       options.whole_program ? vuln::VulnerabilityAnalyzer::Mode::kWholeProgram
                             : vuln::VulnerabilityAnalyzer::Mode::kDirected;
+  if (options.stage_deadline > 0) {
+    pipeline_options.stage_budgets =
+        core::StageBudgets::uniform_wall(options.stage_deadline);
+  }
+  pipeline_options.retry.max_retries = options.retries;
+  support::FaultInjector injector(options.seed);
+  for (const support::FaultPlan& plan : options.fault_plans) {
+    injector.add_plan(plan);
+  }
+  if (!injector.empty()) pipeline_options.fault_injector = &injector;
 
   const core::PipelineResult result =
       core::Pipeline(pipeline_options).run(target);
@@ -231,6 +309,13 @@ int main(int argc, char** argv) {
               result.counts.vulnerability_reports);
   std::printf("  attacks (site reached/realized): %zu/%zu\n",
               result.attacks.size(), result.confirmed_attacks());
+  std::printf("  resilience:            %s\n",
+              result.counts.resilience_summary().c_str());
+  if (result.degraded()) {
+    for (const support::FailureRecord& record : result.counts.failures) {
+      std::printf("    %s\n", record.to_string().c_str());
+    }
+  }
   if (options.quiet) return 0;
 
   if (options.print_reports) {
