@@ -7,15 +7,21 @@
 //   OWL_BENCH_SCALE      noise scale (default 1.0 = paper-shaped volumes
 //                        at ~1/10 magnitude; see DESIGN.md)
 //   OWL_BENCH_SCHEDULES  detection schedules per target (default 4)
+// Parallel knob:
+//   OWL_BENCH_JOBS       worker threads for the parallel sweep in
+//                        run_all_pipelines (default hardware_concurrency)
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "support/log.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 #include "workloads/registry.hpp"
 
 namespace owl::bench {
@@ -49,6 +55,78 @@ inline core::PipelineResult run_pipeline(const workloads::Workload& w,
   target.detection_schedules = schedules_from_env();
   core::Pipeline pipeline(w.pipeline_options());
   return pipeline.run(target);
+}
+
+inline unsigned jobs_from_env() {
+  if (const char* v = std::getenv("OWL_BENCH_JOBS")) {
+    const int n = std::atoi(v);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  return support::ThreadPool::default_jobs();
+}
+
+/// One table-wide sweep over every workload, measured twice: a sequential
+/// baseline and a ThreadPool fan-out (each workload keeps its own
+/// PipelineOptions, so the pool parallelizes whole pipeline runs). The
+/// returned results come from the parallel sweep, in input order; the
+/// measurement also proves they serialize byte-identically to the
+/// sequential baseline — the tables are themselves a differential gate.
+struct ParallelSweep {
+  std::vector<core::PipelineResult> results;   ///< parallel run, input order
+  std::vector<core::PipelineResult> baseline;  ///< sequential run, input order
+  double sequential_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  unsigned jobs = 1;
+  bool identical = true;  ///< parallel byte-identical to sequential
+
+  double speedup() const {
+    return parallel_seconds > 0.0 ? sequential_seconds / parallel_seconds
+                                  : 0.0;
+  }
+  /// The footer every table prints under its speedup column.
+  std::string summary() const {
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer),
+                  "parallel sweep: jobs=%u wall %.2fs vs sequential %.2fs "
+                  "(%.2fx speedup), results %s",
+                  jobs, parallel_seconds, sequential_seconds, speedup(),
+                  identical ? "byte-identical" : "DIVERGED");
+    return buffer;
+  }
+};
+
+inline ParallelSweep run_all_pipelines(
+    const std::vector<workloads::Workload>& workloads, std::uint64_t seed = 1) {
+  using clock = std::chrono::steady_clock;
+  ParallelSweep sweep;
+  sweep.jobs = jobs_from_env();
+
+  sweep.baseline.resize(workloads.size());
+  const clock::time_point t0 = clock::now();
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    sweep.baseline[i] = run_pipeline(workloads[i], seed);
+  }
+  const clock::time_point t1 = clock::now();
+  sweep.sequential_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  sweep.results.resize(workloads.size());
+  support::ThreadPool pool(sweep.jobs);
+  const clock::time_point t2 = clock::now();
+  pool.parallel_for(workloads.size(), [&](std::size_t i) {
+    sweep.results[i] = run_pipeline(workloads[i], seed);
+  });
+  const clock::time_point t3 = clock::now();
+  sweep.parallel_seconds = std::chrono::duration<double>(t3 - t2).count();
+
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    if (core::serialize_result(sweep.baseline[i]) !=
+        core::serialize_result(sweep.results[i])) {
+      sweep.identical = false;
+      std::fprintf(stderr, "run_all_pipelines: %s diverged under jobs=%u\n",
+                   workloads[i].name.c_str(), sweep.jobs);
+    }
+  }
+  return sweep;
 }
 
 /// Repeated-execution exploit driver: returns the 1-based repetition at

@@ -3,8 +3,16 @@
 // length of the bug-to-attack propagation chain. These back the paper's
 // "reasonable for in-house testing" performance claim (§8.2's A.C. column)
 // with component-level numbers.
+// The Parallel* benchmarks back BENCH_parallel.json (run with
+// --benchmark_filter='Parallel' --benchmark_out=BENCH_parallel.json):
+// ThreadPool dispatch overhead and Pipeline::run_many scaling with --jobs.
+// Speedup is bounded by the host's core count — compare the jobs arguments
+// against real_time on the recording machine.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
+#include "core/pipeline.hpp"
 #include "interp/machine.hpp"
 #include "ir/builder.hpp"
 #include "ir/loops.hpp"
@@ -12,6 +20,7 @@
 #include "ir/printer.hpp"
 #include "race/tsan_detector.hpp"
 #include "race/vector_clock.hpp"
+#include "support/thread_pool.hpp"
 #include "vuln/analyzer.hpp"
 
 namespace {
@@ -175,6 +184,62 @@ void BM_AnalyzerCallDepth(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AnalyzerCallDepth)->Arg(2)->Arg(8)->Arg(32);
+
+/// ThreadPool fan-out overhead: dispatch `range(1)` near-empty slots on a
+/// pool of `range(0)` workers. The floor every parallel stage pays.
+void BM_ParallelForDispatch(benchmark::State& state) {
+  support::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  const auto slots = static_cast<std::size_t>(state.range(1));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    pool.parallel_for(slots, [&](std::size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * slots));
+}
+BENCHMARK(BM_ParallelForDispatch)
+    ->Args({1, 64})
+    ->Args({2, 64})
+    ->Args({4, 64})
+    ->Args({4, 1024})
+    ->UseRealTime();
+
+/// Whole-pipeline target fan-out: Pipeline::run_many over 8 racy targets
+/// with jobs = range(0). The speedup column of BENCH_parallel.json —
+/// real_time(jobs=1) / real_time(jobs=N), bounded by host cores.
+void BM_PipelineRunManyJobs(benchmark::State& state) {
+  constexpr std::size_t kTargets = 8;
+  std::vector<std::unique_ptr<ir::Module>> modules;
+  std::vector<core::PipelineTarget> targets;
+  for (std::size_t i = 0; i < kTargets; ++i) {
+    modules.push_back(make_counter_module(300));
+    core::PipelineTarget target;
+    target.name = "perf-" + std::to_string(i);
+    target.module = modules.back().get();
+    const ir::Module* m = modules.back().get();
+    target.factory = [m] {
+      interp::MachineOptions options;
+      options.max_steps = 100'000;
+      auto machine = std::make_unique<interp::Machine>(*m, options);
+      machine->start(m->find_function("main"));
+      return machine;
+    };
+    target.seed = 17 * (i + 1);
+    targets.push_back(std::move(target));
+  }
+  core::PipelineOptions options;
+  options.jobs = static_cast<unsigned>(state.range(0));
+  const core::Pipeline pipeline(options);
+  for (auto _ : state) {
+    const auto results = pipeline.run_many(targets);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kTargets));
+}
+BENCHMARK(BM_PipelineRunManyJobs)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_ParserRoundTrip(benchmark::State& state) {
   auto source_module = make_counter_module(10);

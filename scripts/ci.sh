@@ -30,4 +30,39 @@ cmake --build build-asan -j"${jobs}" --target owl_unit_tests
 current_step="run owl_unit_tests (ASan+UBSan)"
 ./build-asan/tests/owl_unit_tests
 
+# ThreadSanitizer pass: a concurrency-attack detector must not ship its own
+# races. The TSan tree runs the thread-pool/log/stats unit tests and the
+# jobs=1-vs-jobs=4 pipeline equivalence tests with real worker threads.
+current_step="configure (TSan)"
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all -fno-omit-frame-pointer"
+
+current_step="build test binaries (TSan)"
+cmake --build build-tsan -j"${jobs}" --target owl_unit_tests owl_integration_tests
+
+current_step="run thread_pool tests (TSan)"
+./build-tsan/tests/owl_unit_tests \
+  --gtest_filter='ThreadPoolTest.*:LogSinkTest.*:ConcurrentStatsTest.*:StageTimingsTest.*'
+
+current_step="run parallel_equivalence tests (TSan)"
+./build-tsan/tests/owl_integration_tests --gtest_filter='ParallelEquivalenceTest.*'
+
+# Differential gate on the shipped examples: parallel execution must be
+# byte-identical to sequential, and the per-stage timing summary must show
+# every stage ran (printed for the CI log; timing lines are excluded from
+# the diff because wall-clock varies run to run).
+current_step="jobs=1 vs jobs=4 differential (examples)"
+examples=(examples/ir/double_fetch.mir examples/ir/toctou.mir)
+./build/tools/owl_cli --jobs 1 --print-reports "${examples[@]}" > build/jobs1.out
+./build/tools/owl_cli --jobs 4 --print-reports "${examples[@]}" > build/jobs4.out
+diff -u build/jobs1.out build/jobs4.out \
+  || { echo "ci.sh: jobs=4 output diverged from jobs=1" >&2; exit 1; }
+
+current_step="per-stage timing summary"
+./build/tools/owl_cli --jobs 4 --timings --quiet "${examples[@]}"
+./build/tools/owl_cli --jobs 4 --timings --quiet "${examples[@]}" \
+  | grep -q "target-total" \
+  || { echo "ci.sh: timing summary missing target-total" >&2; exit 1; }
+
 echo "ci.sh: all gates passed"

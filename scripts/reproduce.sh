@@ -32,6 +32,12 @@ for b in build/bench/*; do
   "$b" 2>&1 | tee -a bench_output.txt
 done
 
+current_step="record BENCH_parallel.json"
+./build/bench/micro_perf --benchmark_filter='Parallel|RunMany' \
+  --benchmark_out=BENCH_parallel.json --benchmark_out_format=json \
+  | tee -a bench_output.txt
+
 echo
 echo "Reproduction complete. See EXPERIMENTS.md for the paper-vs-measured"
-echo "record; bench_output.txt holds this run's tables and figures."
+echo "record; bench_output.txt holds this run's tables and figures, and"
+echo "BENCH_parallel.json the --jobs scaling numbers for this host."

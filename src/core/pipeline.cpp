@@ -6,6 +6,7 @@
 #include "support/log.hpp"
 #include "support/strings.hpp"
 #include "sync/annotator.hpp"
+#include "vuln/hint.hpp"
 
 namespace owl::core {
 namespace {
@@ -45,6 +46,34 @@ void attribute_injected(FaultInjector* injector, StageCounts& counts,
                    "injected truncation dropped observer events");
   }
 }
+
+/// Records one stage's wall-clock into the shared (thread-safe) timing
+/// aggregation on scope exit; no-op when timings are not requested.
+class StageTimer {
+ public:
+  StageTimer(StageTimings* timings, const char* stage)
+      : timings_(timings), stage_(stage),
+        start_(std::chrono::steady_clock::now()) {}
+  ~StageTimer() { stop(); }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  /// Ends the stage early when the timer's scope outlives it.
+  void stop() {
+    if (timings_ == nullptr || stopped_) return;
+    stopped_ = true;
+    timings_->record(
+        stage_, std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count());
+  }
+
+ private:
+  StageTimings* timings_;
+  const char* stage_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+};
 
 }  // namespace
 
@@ -152,8 +181,12 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
   if (injector != nullptr) injector->begin_target(target.name);
 
   // ---- step (1): raw detection ----
-  std::vector<race::RaceReport> raw =
-      detect(target, nullptr, result.counts).value_or(std::vector<race::RaceReport>{});
+  std::vector<race::RaceReport> raw;
+  {
+    const StageTimer timer(options_.stage_timings, "detection");
+    raw = detect(target, nullptr, result.counts)
+              .value_or(std::vector<race::RaceReport>{});
+  }
   result.counts.raw_reports = raw.size();
   OWL_LOG(kInfo) << target.name << ": " << raw.size() << " raw race reports";
 
@@ -161,6 +194,7 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
   if (injector != nullptr) injector->begin_stage(PipelineStage::kAnnotation);
   std::vector<race::RaceReport> reduced;
   result.store.set_stage(Stage::kRawDetection, raw);
+  StageTimer annotation_timer(options_.stage_timings, "annotation");
   if (options_.preset_annotations != nullptr) {
     result.counts.adhoc_syncs = options_.preset_annotations->pair_count();
     if (options_.preset_annotations->empty()) {
@@ -191,6 +225,7 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
   } else {
     reduced = std::move(raw);
   }
+  annotation_timer.stop();
   result.counts.after_annotation = reduced.size();
   result.store.set_stage(Stage::kAfterAnnotation, reduced);
   OWL_LOG(kInfo) << target.name << ": " << reduced.size()
@@ -200,6 +235,7 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
   // ---- step (3): dynamic race verification ----
   std::vector<race::RaceReport> survivors;
   if (options_.enable_race_verifier) {
+    const StageTimer timer(options_.stage_timings, "race-verification");
     if (injector != nullptr) {
       injector->begin_stage(PipelineStage::kRaceVerification);
     }
@@ -234,6 +270,10 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
         vopts.base_seed =
             retry.seed_for(target.seed * 7919 + 13, attempt);
         vopts.fault_injector = injector;
+        // Schedule-exploration sharding: the verifier itself falls back
+        // to the sequential loop whenever a budget or the injector makes
+        // attempts order-dependent.
+        vopts.pool = options_.verifier_pool;
         // One report may use what is left of the stage, grown per retry.
         support::BudgetSpec per_report;
         per_report.steps = stage_budget.remaining_steps() == UINT64_MAX
@@ -301,6 +341,7 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
                  << " verified races remain";
 
   // ---- step (4): static vulnerability analysis (Algorithm 1) ----
+  StageTimer analysis_timer(options_.stage_timings, "vuln-analysis");
   if (injector != nullptr) {
     injector->begin_stage(PipelineStage::kVulnAnalysis);
   }
@@ -354,9 +395,11 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
           : analysis_seconds / static_cast<double>(final_reports.size());
   OWL_LOG(kInfo) << target.name << ": " << result.exploits.size()
                  << " vulnerability reports";
+  analysis_timer.stop();
 
   // ---- step (5): dynamic vulnerability verification ----
   if (options_.enable_vuln_verifier) {
+    const StageTimer timer(options_.stage_timings, "vuln-verification");
     if (injector != nullptr) {
       injector->begin_stage(PipelineStage::kVulnVerification);
     }
@@ -442,16 +485,34 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
   result.total_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  if (options_.stage_timings != nullptr) {
+    options_.stage_timings->record("target-total", result.total_seconds);
+  }
   return result;
 }
 
 std::vector<PipelineResult> Pipeline::run_many(
     const std::vector<PipelineTarget>& targets) const {
-  std::vector<PipelineResult> results;
-  results.reserve(targets.size());
-  for (const PipelineTarget& target : targets) {
+  std::vector<PipelineResult> results(targets.size());
+  // Per-target forks of the shared injector: each worker probes only its
+  // own fork, so the firing sequence a target observes is a function of
+  // that target alone — the load-bearing fact behind jobs=1 and jobs=N
+  // producing identical results under fault injection.
+  std::vector<std::unique_ptr<support::FaultInjector>> forks(targets.size());
+
+  const auto run_one = [&](std::size_t index) {
+    const PipelineTarget& target = targets[index];
+    PipelineOptions local = options_;
+    // Target-level parallelism already feeds the workers; nesting the
+    // verifier's attempt sharding on top would oversubscribe.
+    if (local.jobs != 1) local.verifier_pool = nullptr;
+    if (options_.fault_injector != nullptr) {
+      forks[index] = std::make_unique<support::FaultInjector>(
+          options_.fault_injector->fork());
+      local.fault_injector = forks[index].get();
+    }
     try {
-      results.push_back(run(target));
+      results[index] = Pipeline(local).run(target);
     } catch (const std::exception& error) {
       // run() isolates its own stages; this catches failures outside them
       // (e.g. a throwing machine factory or a malformed module). The target
@@ -460,10 +521,41 @@ std::vector<PipelineResult> Pipeline::run_many(
       failed.target_name = target.name;
       record_failure(failed.counts, PipelineStage::kDriver,
                      FailureCause::kException, error.what());
-      results.push_back(std::move(failed));
+      results[index] = std::move(failed);
+    }
+  };
+
+  if (options_.jobs == 1 || targets.size() <= 1) {
+    for (std::size_t i = 0; i < targets.size(); ++i) run_one(i);
+  } else {
+    support::ThreadPool pool(options_.jobs);
+    pool.parallel_for(targets.size(), run_one);
+  }
+
+  // Merge fork accounting back in input order so events() reads as one
+  // deterministic log no matter how execution interleaved.
+  if (options_.fault_injector != nullptr) {
+    for (const auto& fork : forks) {
+      if (fork != nullptr) options_.fault_injector->absorb(*fork);
     }
   }
   return results;
+}
+
+std::string serialize_result(const PipelineResult& result) {
+  std::string out = "=== target " + result.target_name + " ===\n";
+  out += result.counts.serialize();
+  out += result.store.canonical_dump();
+  out += str_format("[exploits %zu]\n", result.exploits.size());
+  for (const vuln::ExploitReport& exploit : result.exploits) {
+    out += vuln::render_hint(exploit);
+  }
+  out += str_format("[attacks %zu, confirmed %zu]\n", result.attacks.size(),
+                    result.confirmed_attacks());
+  for (const ConcurrencyAttack& attack : result.attacks) {
+    out += attack.to_string();
+  }
+  return out;
 }
 
 }  // namespace owl::core

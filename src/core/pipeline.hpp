@@ -24,6 +24,8 @@
 #include "support/deadline.hpp"
 #include "support/fault_injector.hpp"
 #include "support/retry.hpp"
+#include "support/stats.hpp"
+#include "support/thread_pool.hpp"
 #include "verify/race_verifier.hpp"
 #include "verify/vuln_verifier.hpp"
 #include "vuln/analyzer.hpp"
@@ -100,6 +102,23 @@ struct PipelineOptions {
   /// the surviving set instead of silently eliminating them. Conservative
   /// for security: degradation must not hide a potential attack.
   bool keep_unverified_on_degradation = true;
+
+  // --- parallel execution ---
+  /// Worker threads for run_many's target fan-out: 1 = in-caller
+  /// sequential loop, 0 = hardware_concurrency, N = a pool of N. Results
+  /// are byte-identical for every value — each target's schedules derive
+  /// from its own seed (splittable support::Rng streams, see DESIGN.md),
+  /// results are collected in input order, and fault injection forks per
+  /// target — so jobs changes wall-clock only.
+  unsigned jobs = 1;
+  /// Shards the race verifier's schedule-exploration attempts across this
+  /// pool (not owned; null disables). Applies to Pipeline::run; run_many
+  /// does not forward it to its workers (target-level parallelism already
+  /// saturates the pool, and two nested fan-outs oversubscribe).
+  support::ThreadPool* verifier_pool = nullptr;
+  /// Concurrent-safe per-stage wall-clock aggregation (not owned; may be
+  /// null). Workers from every target record into the same instance.
+  StageTimings* stage_timings = nullptr;
 };
 
 struct PipelineResult {
@@ -131,9 +150,17 @@ class Pipeline {
   PipelineResult run(const PipelineTarget& target) const;
 
   /// Multi-target driver with per-target fault isolation: one result per
-  /// target in order; a target that fails catastrophically (even outside
-  /// run()'s own isolation, e.g. a throwing machine factory) yields a
-  /// driver-stage FailureRecord instead of sinking the whole run.
+  /// target in input order; a target that fails catastrophically (even
+  /// outside run()'s own isolation, e.g. a throwing machine factory)
+  /// yields a driver-stage FailureRecord instead of sinking the whole run.
+  ///
+  /// Targets execute on `options().jobs` workers. Results are identical
+  /// for any jobs value: every target is self-contained (own seed, own
+  /// module, own machines), each worker runs against a per-target fork of
+  /// the fault injector (forks are absorbed back in input order), and
+  /// results land in pre-assigned slots. Note the fork semantics: a
+  /// FaultPlan's `count`/dilution state is scoped per target here, even
+  /// with jobs=1 — target-scoped plans (the common case) are unaffected.
   std::vector<PipelineResult> run_many(
       const std::vector<PipelineTarget>& targets) const;
 
@@ -156,5 +183,14 @@ class Pipeline {
 
   PipelineOptions options_;
 };
+
+/// Canonical, deterministic text form of a result for differential
+/// comparison (tests/parallel_equivalence_test.cpp, scripts/ci.sh's
+/// jobs=1-vs-jobs=4 gate). Includes everything behavioral — counts,
+/// failure records, every stage's reports, exploit hints, attacks —
+/// and excludes the wall-clock fields (total_seconds,
+/// avg_analysis_seconds, FailureRecord::wall_seconds), which vary run
+/// to run even when behavior is identical.
+std::string serialize_result(const PipelineResult& result);
 
 }  // namespace owl::core

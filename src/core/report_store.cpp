@@ -1,6 +1,25 @@
 #include "core/report_store.hpp"
 
+#include "support/strings.hpp"
+
 namespace owl::core {
+
+std::string StageCounts::serialize() const {
+  std::string out = str_format(
+      "raw=%zu adhoc=%zu after_annotation=%zu eliminated=%zu remaining=%zu "
+      "vuln_reports=%zu retries=%u\n",
+      raw_reports, adhoc_syncs, after_annotation, verifier_eliminated,
+      remaining, vulnerability_reports, retries_used);
+  for (const support::FailureRecord& record : failures) {
+    out += str_format(
+        "failure: %s/%s steps=%llu retries=%u (%s)\n",
+        std::string(support::pipeline_stage_name(record.stage)).c_str(),
+        std::string(support::failure_cause_name(record.cause)).c_str(),
+        static_cast<unsigned long long>(record.steps_spent), record.retries,
+        record.detail.c_str());
+  }
+  return out;
+}
 
 void ReportStore::set_stage(Stage stage, std::vector<race::RaceReport> reports) {
   stages_[index_of(stage)] = std::move(reports);
@@ -23,6 +42,18 @@ std::string ReportStore::render_stage(Stage stage) const {
   for (const race::RaceReport& report : this->stage(stage)) {
     out += report.to_string();
     out += "\n";
+  }
+  return out;
+}
+
+std::string ReportStore::canonical_dump() const {
+  static constexpr const char* kStageNames[3] = {
+      "raw-detection", "after-annotation", "after-race-verifier"};
+  std::string out;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto stage = static_cast<Stage>(i);
+    out += std::string("[stage ") + kStageNames[i] + "]\n";
+    out += render_stage(stage);
   }
   return out;
 }

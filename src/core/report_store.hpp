@@ -40,6 +40,12 @@ struct StageCounts {
     return support::failure_summary(failures);
   }
 
+  /// Canonical text form for differential comparison: every behavioral
+  /// counter and failure record, but no wall-clock fields
+  /// (avg_analysis_seconds, FailureRecord::wall_seconds) — those vary
+  /// run to run even when behavior is identical.
+  std::string serialize() const;
+
   /// Fraction of raw reports pruned before vulnerability analysis.
   double reduction_ratio() const noexcept {
     if (raw_reports == 0) return 0.0;
@@ -60,6 +66,11 @@ class ReportStore {
 
   /// Renders one stage for logs/benches.
   std::string render_stage(Stage stage) const;
+
+  /// Deterministic dump of every recorded stage, for differential
+  /// comparison of pipeline runs (report rendering is id/name-based —
+  /// no pointers, no timestamps).
+  std::string canonical_dump() const;
 
  private:
   static constexpr std::size_t index_of(Stage stage) noexcept {

@@ -14,6 +14,17 @@ std::string_view fault_kind_name(FaultKind kind) noexcept {
   return "?";
 }
 
+FaultInjector FaultInjector::fork() const {
+  FaultInjector out(seed_);
+  for (const PlanState& state : plans_) out.add_plan(state.plan);
+  return out;
+}
+
+void FaultInjector::absorb(const FaultInjector& fork) {
+  events_.insert(events_.end(), fork.events_.begin(), fork.events_.end());
+  fired_total_ += fork.fired_total_;
+}
+
 void FaultInjector::begin_target(std::string_view name) {
   target_.assign(name);
   for (PlanState& state : plans_) {

@@ -72,12 +72,27 @@ struct InjectionEvent {
 
 class FaultInjector {
  public:
-  explicit FaultInjector(std::uint64_t seed = 0x0417) : rng_(seed) {}
+  explicit FaultInjector(std::uint64_t seed = 0x0417)
+      : rng_(seed), seed_(seed) {}
 
   void add_plan(FaultPlan plan) {
     plans_.push_back({std::move(plan), 0, 0, false});
   }
   bool empty() const noexcept { return plans_.empty(); }
+
+  /// Independent copy for one parallel worker: same plans and dilution
+  /// seed, fresh counters and context. Pipeline::run_many hands each
+  /// target a fork, so a plan's probe/firing sequence depends only on
+  /// that target's own execution — identical for jobs=1 and jobs=N. (A
+  /// fork scopes lifetime state — `count` budgets, dilution draws — to
+  /// its target; plans matching several targets fire per target rather
+  /// than across the whole run.)
+  FaultInjector fork() const;
+
+  /// Merges a drained fork's accounting (events, firing total) back, in
+  /// whatever order the driver chooses — run_many absorbs forks in input
+  /// order so events() stays a complete, deterministically ordered log.
+  void absorb(const FaultInjector& fork);
 
   // --- context, pushed by the pipeline driver ---
   void begin_target(std::string_view name);
@@ -119,6 +134,7 @@ class FaultInjector {
 
   std::vector<PlanState> plans_;
   Rng rng_;
+  std::uint64_t seed_;
   std::string target_;
   PipelineStage stage_ = PipelineStage::kDriver;
   std::vector<InjectionEvent> events_;

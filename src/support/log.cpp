@@ -3,12 +3,14 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <utility>
 
 namespace owl {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_log_mutex;
+LogSink g_sink;  // guarded by g_log_mutex; empty = stderr
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -26,9 +28,20 @@ const char* level_tag(LogLevel level) {
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
+LogSink set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_log_mutex);
+  LogSink previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  return previous;
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
   const std::lock_guard<std::mutex> lock(g_log_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
   std::fprintf(stderr, "[owl %s] %s\n", level_tag(level), message.c_str());
 }
 

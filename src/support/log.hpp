@@ -2,8 +2,14 @@
 //
 // OWL's pipeline stages narrate what they prune and why; the logger keeps
 // that narration controllable so tests stay quiet and benches stay readable.
+//
+// The sink is thread-safe: parallel pipeline workers (Pipeline::run_many,
+// the verifier's schedule sharding) log concurrently, and every line must
+// reach the sink whole — one fully formatted line per call, serialized by
+// the logger's mutex, never interleaved mid-line.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -15,8 +21,19 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Emits one line to stderr if `level` is at or above the global level.
+/// Emits one line to the active sink (default: stderr) if `level` is at or
+/// above the global level. Safe to call from any thread; each call
+/// delivers one intact line.
 void log_line(LogLevel level, const std::string& message);
+
+/// Receives fully formatted lines instead of stderr. Called under the
+/// logger's mutex — lines arrive whole, one at a time, from any thread —
+/// so a capturing sink needs no locking of its own (and must not log).
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Installs `sink` (tests capture concurrent lines this way); an empty
+/// sink restores stderr. Returns the previously installed sink.
+LogSink set_log_sink(LogSink sink);
 
 namespace detail {
 /// Stream-style log statement builder; emits on destruction.

@@ -1,0 +1,73 @@
+// Fixed-size worker pool — the execution substrate for OWL's parallel
+// fan-outs (Pipeline::run_many across targets, the race verifier's
+// schedule-exploration sharding, bench sweeps).
+//
+// Design constraints, in priority order:
+//  1. Determinism support: the pool itself never reorders *results* — all
+//     parallel_for slots are indexed, exceptions are surfaced by lowest
+//     index, and callers fold outcomes in input order. Concurrency changes
+//     wall-clock only, never bytes.
+//  2. Dogfooding: a concurrency-attack detector must not ship its own
+//     races. The pool is exercised under ThreadSanitizer by scripts/ci.sh
+//     (build-tsan/) on every run.
+//  3. No silent loss: task exceptions are captured and rethrown at the
+//     join point (submit → future, parallel_for → lowest-index rethrow),
+//     never swallowed; destruction drains the queue before joining.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace owl::support {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` sizes the pool to hardware_concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Graceful shutdown: already-queued tasks run to completion, then the
+  /// workers join. Tasks submitted after destruction begins are rejected.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues one task. The future surfaces the task's exception (if any)
+  /// at get(); a task whose future is dropped still runs, and its
+  /// exception is then contained by the packaged_task (never terminates a
+  /// worker). Throws std::runtime_error if the pool is shutting down.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(0..n-1) across the pool and blocks until every index
+  /// finished. The calling thread helps execute slots, so the call makes
+  /// progress even on a saturated pool and nested parallel_for from a
+  /// worker cannot deadlock. If any slots threw, the lowest-index
+  /// exception is rethrown after all slots completed — deterministic
+  /// regardless of scheduling.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// hardware_concurrency with a floor of 1 (the value `threads == 0`
+  /// resolves to); the default for CLI --jobs.
+  static unsigned default_jobs() noexcept;
+
+ private:
+  struct ForState;
+
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace owl::support

@@ -14,12 +14,14 @@
 // several seeded attempts before giving up (§5.2's two miss cases).
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "race/report.hpp"
 #include "race/ski_detector.hpp"  // MachineFactory
 #include "support/deadline.hpp"
 #include "support/fault_injector.hpp"
+#include "support/thread_pool.hpp"
 
 namespace owl::verify {
 
@@ -63,6 +65,15 @@ class RaceVerifier {
     support::BudgetSpec budget;
     /// Resilience-layer fault-injection harness (may be null; not owned).
     support::FaultInjector* fault_injector = nullptr;
+    /// Shards the seeded schedule-exploration attempts across this pool
+    /// (not owned; null = explore sequentially). Each attempt is already
+    /// an independent (machine, scheduler-seed) session, so they run
+    /// concurrently and their outcomes are folded in attempt order —
+    /// results are byte-identical to the sequential loop. Sharding only
+    /// engages when the budget is unlimited and no fault injector is
+    /// attached: both thread one mutable state through the attempt
+    /// sequence, which would make outcomes order-dependent.
+    support::ThreadPool* pool = nullptr;
   };
 
   RaceVerifier() : RaceVerifier(Options{}) {}
@@ -74,6 +85,51 @@ class RaceVerifier {
                           const race::MachineFactory& factory) const;
 
  private:
+  /// Everything one seeded attempt produces; verify() folds these in
+  /// attempt order so sequential and pool-sharded exploration agree.
+  struct AttemptOutcome {
+    bool verified = false;
+    bool livelocked = false;
+    bool budget_exhausted = false;
+    std::uint64_t steps = 0;
+    unsigned livelock_releases = 0;
+    // Racing-moment captures, filled only when verified:
+    interp::Word value_about_to_read = 0;
+    interp::Word value_about_to_write = 0;
+    bool writes_null = false;
+    std::string variable_type;
+    std::string security_hint;
+  };
+
+  /// One breakpoint-choreography session under seed base_seed + attempt.
+  /// Charges interpreter steps to `budget` as it goes and stops early if
+  /// it exhausts (the sequential path shares one budget across attempts;
+  /// the sharded path hands each attempt its own unlimited one).
+  AttemptOutcome run_attempt(const race::RaceReport& report,
+                             const race::MachineFactory& factory,
+                             unsigned attempt, support::Budget& budget) const;
+
+  /// One CTrigger-style re-manifestation run for an atomicity report.
+  AttemptOutcome run_atomicity_attempt(const race::RaceReport& report,
+                                       const race::MachineFactory& factory,
+                                       unsigned attempt,
+                                       support::Budget& budget) const;
+
+  /// True when the attempt loop may be sharded across options_.pool.
+  bool can_shard() const noexcept {
+    return options_.pool != nullptr && options_.max_attempts > 1 &&
+           options_.budget.unlimited() && options_.fault_injector == nullptr;
+  }
+
+  /// Runs `attempts(i)` for every attempt index (concurrently when
+  /// sharded), then folds outcomes in attempt order: accumulate
+  /// accounting, stop at the first verified attempt — exactly the
+  /// sequential early-exit semantics.
+  RaceVerifyResult explore(
+      race::RaceReport& report,
+      const std::function<AttemptOutcome(unsigned, support::Budget&)>& attempt)
+      const;
+
   /// Reproduction-based verification for atomicity-violation reports
   /// (their accesses may be lock-protected, so the breakpoint choreography
   /// does not apply; CTrigger-style re-manifestation does).

@@ -1,10 +1,19 @@
-// owl_cli — audit a textual MiniIR program with the OWL pipeline.
+// owl_cli — audit textual MiniIR programs with the OWL pipeline.
 //
 // Usage:
-//   owl_cli <program.mir> [options]
+//   owl_cli <program.mir> [more.mir ...] [options]
+//
+// Several programs run as one multi-target pipeline sweep on --jobs
+// workers; results print in input order and are byte-identical for any
+// --jobs value (each target's schedules derive from its own seed stream).
 //
 // Options:
 //   --entry <name>         entry function spawning the threads (default: main)
+//   --jobs N               worker threads: targets fan out across N workers;
+//                          with one program, N>1 instead shards the race
+//                          verifier's schedule exploration (default: one
+//                          worker per hardware thread; 1 = sequential)
+//   --timings              print the per-stage wall-clock summary
 //   --inputs a,b,c         workload input vector (default: empty)
 //   --exploit-inputs a,b,c inputs for the vulnerability verifier re-runs
 //                          (default: same as --inputs)
@@ -42,7 +51,9 @@
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
+#include "support/rng.hpp"
 #include "support/strings.hpp"
+#include "support/thread_pool.hpp"
 #include "vuln/hint.hpp"
 
 using namespace owl;
@@ -50,7 +61,7 @@ using namespace owl;
 namespace {
 
 struct CliOptions {
-  std::string path;
+  std::vector<std::string> paths;
   std::string entry = "main";
   std::vector<interp::Word> inputs;
   std::vector<interp::Word> exploit_inputs;
@@ -68,11 +79,14 @@ struct CliOptions {
   double stage_deadline = 0.0;  ///< 0 = unlimited
   unsigned retries = 2;
   std::vector<support::FaultPlan> fault_plans;
+  unsigned jobs = 0;  ///< 0 = hardware_concurrency
+  bool timings = false;
 };
 
 void usage() {
   std::fprintf(stderr,
-               "usage: owl_cli <program.mir> [--entry main] [--inputs a,b,c]\n"
+               "usage: owl_cli <program.mir> [more.mir ...]\n"
+               "       [--entry main] [--inputs a,b,c] [--jobs N] [--timings]\n"
                "       [--detector tsan|ski|atomicity] [--schedules N]\n"
                "       [--seed S] [--max-steps N] [--no-adhoc]\n"
                "       [--no-race-verifier] [--no-vuln-verifier]\n"
@@ -184,6 +198,13 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       std::int64_t n = 0;
       if (v == nullptr || !parse_int64(v, n) || n < 0) return false;
       options.retries = static_cast<unsigned>(n);
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      std::int64_t n = 0;
+      if (v == nullptr || !parse_int64(v, n) || n < 0) return false;
+      options.jobs = static_cast<unsigned>(n);
+    } else if (arg == "--timings") {
+      options.timings = true;
     } else if (arg == "--inject-fault") {
       const char* v = next();
       support::FaultPlan plan;
@@ -205,13 +226,11 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return false;
-    } else if (options.path.empty()) {
-      options.path = arg;
     } else {
-      return false;
+      options.paths.emplace_back(arg);
     }
   }
-  return !options.path.empty();
+  return !options.paths.empty();
 }
 
 }  // namespace
@@ -225,58 +244,74 @@ int main(int argc, char** argv) {
   if (options.exploit_inputs.empty()) {
     options.exploit_inputs = options.inputs;
   }
+  const unsigned jobs =
+      options.jobs == 0 ? support::ThreadPool::default_jobs() : options.jobs;
 
-  std::ifstream file(options.path);
-  if (!file) {
-    std::fprintf(stderr, "owl_cli: cannot open %s\n", options.path.c_str());
-    return 1;
-  }
-  std::ostringstream text;
-  text << file.rdbuf();
+  // Load and verify every module up front (fail fast, old exit codes),
+  // then audit them as one multi-target sweep.
+  std::vector<std::shared_ptr<ir::Module>> modules;
+  std::vector<core::PipelineTarget> targets;
+  // Per-target schedule seeds: one program keeps --seed exactly (replay
+  // compatibility); several derive an independent SplitMix stream per
+  // input position via the splittable Rng — a function of (--seed,
+  // position) only, never of worker interleaving.
+  Rng seed_stream(options.seed);
+  for (const std::string& path : options.paths) {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "owl_cli: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
 
-  auto parsed = ir::parse_module(text.str());
-  if (!parsed.is_ok()) {
-    std::fprintf(stderr, "owl_cli: %s: %s\n", options.path.c_str(),
-                 parsed.status().to_string().c_str());
-    return 1;
-  }
-  std::shared_ptr<ir::Module> module = std::move(parsed).value();
-  if (const Status status = ir::verify_module(*module); !status.is_ok()) {
-    std::fprintf(stderr, "owl_cli: %s: %s\n", options.path.c_str(),
-                 status.to_string().c_str());
-    return 2;
-  }
-  const ir::Function* entry = module->find_function(options.entry);
-  if (entry == nullptr || !entry->has_body()) {
-    std::fprintf(stderr, "owl_cli: no entry function @%s\n",
-                 options.entry.c_str());
-    return 1;
-  }
-  if (options.print_module) {
-    std::fputs(ir::print_module(*module).c_str(), stdout);
-  }
+    auto parsed = ir::parse_module(text.str());
+    if (!parsed.is_ok()) {
+      std::fprintf(stderr, "owl_cli: %s: %s\n", path.c_str(),
+                   parsed.status().to_string().c_str());
+      return 1;
+    }
+    std::shared_ptr<ir::Module> module = std::move(parsed).value();
+    if (const Status status = ir::verify_module(*module); !status.is_ok()) {
+      std::fprintf(stderr, "owl_cli: %s: %s\n", path.c_str(),
+                   status.to_string().c_str());
+      return 2;
+    }
+    const ir::Function* entry = module->find_function(options.entry);
+    if (entry == nullptr || !entry->has_body()) {
+      std::fprintf(stderr, "owl_cli: %s: no entry function @%s\n",
+                   path.c_str(), options.entry.c_str());
+      return 1;
+    }
+    if (options.print_module) {
+      std::fputs(ir::print_module(*module).c_str(), stdout);
+    }
 
-  const auto factory_for = [&](std::vector<interp::Word> inputs) {
-    return race::MachineFactory([module, entry, inputs,
-                                 max_steps = options.max_steps] {
-      interp::MachineOptions machine_options;
-      machine_options.inputs = inputs;
-      machine_options.max_steps = max_steps;
-      auto machine =
-          std::make_unique<interp::Machine>(*module, machine_options);
-      machine->start(entry);
-      return machine;
-    });
-  };
+    const auto factory_for = [&](std::vector<interp::Word> inputs) {
+      return race::MachineFactory([module, entry, inputs,
+                                   max_steps = options.max_steps] {
+        interp::MachineOptions machine_options;
+        machine_options.inputs = inputs;
+        machine_options.max_steps = max_steps;
+        auto machine =
+            std::make_unique<interp::Machine>(*module, machine_options);
+        machine->start(entry);
+        return machine;
+      });
+    };
 
-  core::PipelineTarget target;
-  target.name = options.path;
-  target.module = module.get();
-  target.factory = factory_for(options.inputs);
-  target.exploit_factory = factory_for(options.exploit_inputs);
-  target.detector = options.detector;
-  target.detection_schedules = options.schedules;
-  target.seed = options.seed;
+    core::PipelineTarget target;
+    target.name = path;
+    target.module = module.get();
+    target.factory = factory_for(options.inputs);
+    target.exploit_factory = factory_for(options.exploit_inputs);
+    target.detector = options.detector;
+    target.detection_schedules = options.schedules;
+    target.seed =
+        options.paths.size() == 1 ? options.seed : seed_stream.split().next();
+    modules.push_back(std::move(module));
+    targets.push_back(std::move(target));
+  }
 
   core::PipelineOptions pipeline_options;
   pipeline_options.enable_adhoc_annotation = options.adhoc;
@@ -290,53 +325,76 @@ int main(int argc, char** argv) {
         core::StageBudgets::uniform_wall(options.stage_deadline);
   }
   pipeline_options.retry.max_retries = options.retries;
+  pipeline_options.jobs = jobs;
+  StageTimings stage_timings;
+  if (options.timings) pipeline_options.stage_timings = &stage_timings;
   support::FaultInjector injector(options.seed);
   for (const support::FaultPlan& plan : options.fault_plans) {
     injector.add_plan(plan);
   }
   if (!injector.empty()) pipeline_options.fault_injector = &injector;
 
-  const core::PipelineResult result =
-      core::Pipeline(pipeline_options).run(target);
+  std::vector<core::PipelineResult> results;
+  if (targets.size() == 1) {
+    // One target: --jobs buys wall-clock through the race verifier's
+    // schedule-exploration sharding instead of the target fan-out.
+    std::unique_ptr<support::ThreadPool> pool;
+    if (jobs > 1) {
+      pool = std::make_unique<support::ThreadPool>(jobs);
+      pipeline_options.verifier_pool = pool.get();
+    }
+    results.push_back(core::Pipeline(pipeline_options).run(targets[0]));
+  } else {
+    results = core::Pipeline(pipeline_options).run_many(targets);
+  }
 
-  std::printf("owl_cli: %s\n", options.path.c_str());
-  std::printf("  raw race reports:      %zu\n", result.counts.raw_reports);
-  std::printf("  adhoc syncs annotated: %zu\n", result.counts.adhoc_syncs);
-  std::printf("  verifier eliminated:   %zu\n",
-              result.counts.verifier_eliminated);
-  std::printf("  verified races:        %zu\n", result.counts.remaining);
-  std::printf("  vulnerability reports: %zu\n",
-              result.counts.vulnerability_reports);
-  std::printf("  attacks (site reached/realized): %zu/%zu\n",
-              result.attacks.size(), result.confirmed_attacks());
-  std::printf("  resilience:            %s\n",
-              result.counts.resilience_summary().c_str());
-  if (result.degraded()) {
-    for (const support::FailureRecord& record : result.counts.failures) {
-      std::printf("    %s\n", record.to_string().c_str());
+  for (const core::PipelineResult& result : results) {
+    std::printf("owl_cli: %s\n", result.target_name.c_str());
+    std::printf("  raw race reports:      %zu\n", result.counts.raw_reports);
+    std::printf("  adhoc syncs annotated: %zu\n", result.counts.adhoc_syncs);
+    std::printf("  verifier eliminated:   %zu\n",
+                result.counts.verifier_eliminated);
+    std::printf("  verified races:        %zu\n", result.counts.remaining);
+    std::printf("  vulnerability reports: %zu\n",
+                result.counts.vulnerability_reports);
+    std::printf("  attacks (site reached/realized): %zu/%zu\n",
+                result.attacks.size(), result.confirmed_attacks());
+    std::printf("  resilience:            %s\n",
+                result.counts.resilience_summary().c_str());
+    if (result.degraded()) {
+      for (const support::FailureRecord& record : result.counts.failures) {
+        std::printf("    %s\n", record.to_string().c_str());
+      }
     }
   }
-  if (options.quiet) return 0;
-
-  if (options.print_reports) {
-    std::printf("\n--- verified races ---\n");
-    for (const race::RaceReport& report :
-         result.store.stage(core::Stage::kAfterRaceVerifier)) {
-      std::fputs(report.to_string().c_str(), stdout);
-      std::printf("\n");
+  for (const core::PipelineResult& result : results) {
+    if (options.quiet) break;
+    if (options.print_reports) {
+      std::printf("\n--- verified races (%s) ---\n",
+                  result.target_name.c_str());
+      for (const race::RaceReport& report :
+           result.store.stage(core::Stage::kAfterRaceVerifier)) {
+        std::fputs(report.to_string().c_str(), stdout);
+        std::printf("\n");
+      }
+    }
+    if (!result.exploits.empty()) {
+      std::printf("\n--- vulnerable input hints (%s) ---\n",
+                  result.target_name.c_str());
+      for (const vuln::ExploitReport& exploit : result.exploits) {
+        std::fputs(vuln::render_hint(exploit).c_str(), stdout);
+      }
+    }
+    if (!result.attacks.empty()) {
+      std::printf("\n--- attacks (%s) ---\n", result.target_name.c_str());
+      for (const core::ConcurrencyAttack& attack : result.attacks) {
+        std::fputs(attack.to_string().c_str(), stdout);
+      }
     }
   }
-  if (!result.exploits.empty()) {
-    std::printf("\n--- vulnerable input hints ---\n");
-    for (const vuln::ExploitReport& exploit : result.exploits) {
-      std::fputs(vuln::render_hint(exploit).c_str(), stdout);
-    }
-  }
-  if (!result.attacks.empty()) {
-    std::printf("\n--- attacks ---\n");
-    for (const core::ConcurrencyAttack& attack : result.attacks) {
-      std::fputs(attack.to_string().c_str(), stdout);
-    }
+  if (options.timings) {
+    std::printf("\n--- per-stage timings (jobs=%u) ---\n", jobs);
+    std::fputs(stage_timings.summary().c_str(), stdout);
   }
   return 0;
 }
