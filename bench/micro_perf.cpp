@@ -12,12 +12,16 @@
 
 #include <atomic>
 
+#include <unordered_map>
+#include <vector>
+
 #include "core/pipeline.hpp"
 #include "interp/machine.hpp"
 #include "ir/builder.hpp"
 #include "ir/loops.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
+#include "race/shadow_memory.hpp"
 #include "race/tsan_detector.hpp"
 #include "race/vector_clock.hpp"
 #include "support/thread_pool.hpp"
@@ -96,6 +100,151 @@ void BM_TsanDetectionOverhead(benchmark::State& state) {
       static_cast<double>(steps), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_TsanDetectionOverhead);
+
+// --- detection-substrate benches (BENCH_detector.json) ---------------------
+// The fast-vs-reference numbers behind DESIGN.md §2's "fast substrate":
+// run with --benchmark_filter='Detector|ShadowLookup|VectorClockJoin'.
+// The `impl` argument selects the substrate: 0 = DetectorImpl::kReference
+// (hash-map shadow, eager capture), 1 = DetectorImpl::kFast (paged shadow,
+// epoch fast paths, lazy capture). Both emit identical reports (the CI
+// differential gate proves it); these measure only the hot-path cost.
+
+/// Fixture state for driving TsanDetector::on_access directly: a machine
+/// with two spawned (never run) worker threads supplies real instruction
+/// pointers, thread ids, and interned context ids.
+struct DetectorBenchSetup {
+  std::unique_ptr<ir::Module> module;
+  std::unique_ptr<interp::Machine> machine;
+  const ir::Instruction* load = nullptr;
+  const ir::Instruction* store = nullptr;
+  interp::ContextId ctx1 = interp::kNoContext;
+  interp::ContextId ctx2 = interp::kNoContext;
+
+  DetectorBenchSetup() : module(make_counter_module(1)) {
+    machine = std::make_unique<interp::Machine>(*module, interp::MachineOptions{});
+    const ir::Function* worker = module->find_function("worker");
+    machine->spawn(worker, 0);  // tid 0
+    machine->spawn(worker, 0);  // tid 1
+    ctx1 = machine->thread(0)->context();
+    ctx2 = machine->thread(1)->context();
+    for (const auto& block : worker->blocks()) {
+      for (const auto& instr : block->instructions()) {
+        if (instr->opcode() == ir::Opcode::kLoad) load = instr.get();
+        if (instr->opcode() == ir::Opcode::kStore) store = instr.get();
+      }
+    }
+  }
+
+  interp::Observer::Access access(race::ThreadId tid, interp::Address addr,
+                                  bool is_write) const {
+    return {tid,      is_write ? store : load, addr, 1, is_write,
+            /*is_atomic=*/false, tid == 0 ? ctx1 : ctx2};
+  }
+};
+
+/// Two threads re-reading a shared working set — no races, the detector's
+/// common case. The fast impl should hit the same-reader epoch shortcut on
+/// every access after the first sweep.
+void BM_DetectorRead(benchmark::State& state) {
+  const auto impl = state.range(0) == 0 ? race::DetectorImpl::kReference
+                                        : race::DetectorImpl::kFast;
+  const DetectorBenchSetup setup;
+  race::TsanDetector detector(nullptr, false, impl);
+  constexpr std::uint64_t kAddrs = 256;
+  const interp::Address base = 4096;
+  std::uint64_t accesses = 0;
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < kAddrs; ++i) {
+      const interp::Address addr = base + i * 8;
+      detector.on_access(setup.access(0, addr, false), *setup.machine);
+      detector.on_access(setup.access(1, addr, false), *setup.machine);
+    }
+    accesses += 2 * kAddrs;
+  }
+  benchmark::DoNotOptimize(detector.reports().size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(accesses));
+}
+BENCHMARK(BM_DetectorRead)->ArgName("impl")->Arg(0)->Arg(1);
+
+/// Two threads rewriting disjoint halves of a working set — no races. The
+/// fast impl should hit the same-owner store shortcut on every access
+/// after the first sweep.
+void BM_DetectorWrite(benchmark::State& state) {
+  const auto impl = state.range(0) == 0 ? race::DetectorImpl::kReference
+                                        : race::DetectorImpl::kFast;
+  const DetectorBenchSetup setup;
+  race::TsanDetector detector(nullptr, false, impl);
+  constexpr std::uint64_t kAddrs = 256;
+  const interp::Address base = 4096;
+  std::uint64_t accesses = 0;
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < kAddrs; ++i) {
+      const interp::Address addr = base + i * 8;
+      detector.on_access(setup.access(i % 2 == 0 ? 0 : 1, addr, true),
+                         *setup.machine);
+    }
+    accesses += kAddrs;
+  }
+  benchmark::DoNotOptimize(detector.reports().size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(accesses));
+}
+BENCHMARK(BM_DetectorWrite)->ArgName("impl")->Arg(0)->Arg(1);
+
+/// Pure shadow-container cost, isolated from detection logic: hash-map
+/// lookup (impl 0, the reference's shape) vs paged direct-mapped lookup
+/// (impl 1) over a deterministically shuffled working set. Addresses are
+/// dense cell indexes — interp::Address numbers memory cells, not bytes —
+/// sized past L2 residency so the map pays its node-chase cache misses.
+void BM_ShadowLookup(benchmark::State& state) {
+  const bool paged = state.range(0) != 0;
+  constexpr std::uint64_t kAddrs = 16384;
+  std::vector<interp::Address> addrs;
+  addrs.reserve(kAddrs);
+  std::uint64_t lcg = 12345;
+  for (std::uint64_t i = 0; i < kAddrs; ++i) {
+    addrs.push_back(4096 + i);
+  }
+  for (std::uint64_t i = kAddrs - 1; i > 0; --i) {  // deterministic shuffle
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    std::swap(addrs[i], addrs[lcg % (i + 1)]);
+  }
+  race::PagedShadow paged_shadow;
+  std::unordered_map<interp::Address, race::ShadowSlot> mapped_shadow;
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    if (paged) {
+      for (const interp::Address addr : addrs) {
+        race::ShadowSlot& slot = paged_shadow.slot(addr);
+        sum += ++slot.write.epoch;
+      }
+    } else {
+      for (const interp::Address addr : addrs) {
+        race::ShadowSlot& slot = mapped_shadow[addr];
+        sum += ++slot.write.epoch;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kAddrs));
+}
+BENCHMARK(BM_ShadowLookup)->ArgName("impl")->Arg(0)->Arg(1);
+
+/// Join into an empty clock: exercises the geometric reserve added for the
+/// fast substrate (one allocation instead of per-component growth).
+void BM_VectorClockJoinGrow(benchmark::State& state) {
+  const auto threads = static_cast<race::ThreadId>(state.range(0));
+  race::VectorClock b;
+  for (race::ThreadId t = 0; t < threads; ++t) {
+    b.set(t, t * 2 + 7);
+  }
+  for (auto _ : state) {
+    race::VectorClock c;
+    c.join(b);
+    benchmark::DoNotOptimize(c.size());
+  }
+}
+BENCHMARK(BM_VectorClockJoinGrow)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_VectorClockJoin(benchmark::State& state) {
   const auto threads = static_cast<race::ThreadId>(state.range(0));

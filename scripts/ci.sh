@@ -65,4 +65,40 @@ current_step="per-stage timing summary"
   | grep -q "target-total" \
   || { echo "ci.sh: timing summary missing target-total" >&2; exit 1; }
 
+# Detector differential gate: the fast substrate (paged shadow, epoch fast
+# paths, lazy capture) must emit byte-identical output to the reference
+# hash-map substrate on every example workload, sequentially and under the
+# jobs=4 fan-out, and under an injected detection fault (truncated events).
+current_step="detector differential gate (reference vs fast)"
+for j in 1 4; do
+  ./build/tools/owl_cli --jobs "$j" --print-reports \
+    --detector-impl reference "${examples[@]}" > "build/impl-ref-j$j.out"
+  ./build/tools/owl_cli --jobs "$j" --print-reports \
+    --detector-impl fast "${examples[@]}" > "build/impl-fast-j$j.out"
+  diff -u "build/impl-ref-j$j.out" "build/impl-fast-j$j.out" \
+    || { echo "ci.sh: fast detector diverged from reference (jobs=$j)" >&2
+         exit 1; }
+done
+./build/tools/owl_cli --jobs 1 --print-reports --seed 5 \
+  --inject-fault detect:truncate:2 \
+  --detector-impl reference "${examples[@]}" > build/impl-ref-fault.out
+./build/tools/owl_cli --jobs 1 --print-reports --seed 5 \
+  --inject-fault detect:truncate:2 \
+  --detector-impl fast "${examples[@]}" > build/impl-fast-fault.out
+diff -u build/impl-ref-fault.out build/impl-fast-fault.out \
+  || { echo "ci.sh: fast detector diverged under injected fault" >&2
+       exit 1; }
+
+# Release (-O2) build of the bench tree: the optimized code paths the
+# perf numbers come from must compile warning-clean (-Werror).
+# -Wno-restrict: GCC 12's -Wrestrict fires a known false positive inside
+# libstdc++'s inlined std::string operator+ at -O2 (GCC bug 105651).
+current_step="configure (Release bench tree)"
+cmake -B build-release -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS="-O2 -Werror -Wno-restrict"
+
+current_step="build bench tree (Release, warning-clean)"
+cmake --build build-release -j"${jobs}" --target micro_perf
+
 echo "ci.sh: all gates passed"

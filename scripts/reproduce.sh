@@ -37,7 +37,18 @@ current_step="record BENCH_parallel.json"
   --benchmark_out=BENCH_parallel.json --benchmark_out_format=json \
   | tee -a bench_output.txt
 
+# Detection-substrate numbers (impl:0 = reference, impl:1 = fast); the
+# fast/reference ratio on BM_DetectorRead and BM_ShadowLookup is the
+# headline claim in DESIGN.md §2's "fast substrate" note.
+current_step="record BENCH_detector.json"
+./build/bench/micro_perf \
+  --benchmark_filter='Detector|ShadowLookup|VectorClockJoin' \
+  --benchmark_repetitions=3 \
+  --benchmark_out=BENCH_detector.json --benchmark_out_format=json \
+  | tee -a bench_output.txt
+
 echo
 echo "Reproduction complete. See EXPERIMENTS.md for the paper-vs-measured"
-echo "record; bench_output.txt holds this run's tables and figures, and"
-echo "BENCH_parallel.json the --jobs scaling numbers for this host."
+echo "record; bench_output.txt holds this run's tables and figures,"
+echo "BENCH_parallel.json the --jobs scaling numbers for this host, and"
+echo "BENCH_detector.json the fast-vs-reference detector substrate numbers."

@@ -121,11 +121,13 @@ std::vector<race::RaceReport> Pipeline::detect_once(
     std::unique_ptr<race::TsanDetector> detector;
     std::unique_ptr<interp::Scheduler> scheduler;
     if (target.detector == DetectorKind::kSki) {
-      detector = std::make_unique<race::SkiDetector>(annotations);
+      detector = std::make_unique<race::SkiDetector>(annotations,
+                                                     options_.detector_impl);
       scheduler = std::make_unique<interp::PctScheduler>(
           base_seed + i, /*depth=*/3, /*expected_steps=*/20000);
     } else {
-      detector = std::make_unique<race::TsanDetector>(annotations);
+      detector = std::make_unique<race::TsanDetector>(
+          annotations, /*ski_watch_mode=*/false, options_.detector_impl);
       scheduler = std::make_unique<interp::RandomScheduler>(base_seed + i);
     }
     machine->add_observer(detector.get());

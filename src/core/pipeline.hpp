@@ -77,6 +77,10 @@ struct StageBudgets {
 
 struct PipelineOptions {
   bool enable_adhoc_annotation = true;  ///< ablation knob (step 2)
+  /// Detection-substrate implementation for steps (1)/(2). kFast is the
+  /// default; kReference is the original hash-map substrate the CI
+  /// differential gate diffs against (both emit byte-identical reports).
+  race::DetectorImpl detector_impl = race::DetectorImpl::kFast;
   /// When set, step (2) applies these annotations instead of running OWL's
   /// report-guided classifier — the hook for plugging in a different
   /// adhoc-sync front end (e.g. the SyncFinder-like static scanner, used by

@@ -1,0 +1,34 @@
+#include "interp/context.hpp"
+
+namespace owl::interp {
+
+ContextId ContextTree::push(ContextId parent, const ir::Function* function,
+                            const ir::Instruction* call_site) {
+  const Key key{parent, function, call_site};
+  const auto [it, inserted] =
+      intern_.emplace(key, static_cast<ContextId>(nodes_.size()));
+  if (inserted) {
+    nodes_.push_back(Node{parent, function, call_site});
+  }
+  return it->second;
+}
+
+CallStack ContextTree::call_stack(ContextId leaf,
+                                  const ir::Instruction* innermost) const {
+  std::size_t depth = 0;
+  for (ContextId id = leaf; id != kNoContext; id = nodes_[id].parent) ++depth;
+
+  CallStack stack(depth);
+  // Walk leaf-to-root, filling innermost-to-outermost: each frame reports
+  // the instruction it is at — the pending instruction for the innermost
+  // frame, the callee's call site for every outer frame (the same shape
+  // Thread::call_stack() produces).
+  const ir::Instruction* instr = innermost;
+  for (ContextId id = leaf; id != kNoContext; id = nodes_[id].parent) {
+    stack[--depth] = StackEntry{nodes_[id].function, instr};
+    instr = nodes_[id].call_site;
+  }
+  return stack;
+}
+
+}  // namespace owl::interp

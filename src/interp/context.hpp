@@ -1,0 +1,69 @@
+// Interned calling-context tree.
+//
+// Every Frame carries a ContextId naming its full calling context as a node
+// in this tree: (parent context, function, call site). Pushing a frame
+// interns one node; the path from a node to the root is exactly the call
+// stack Thread::call_stack() would snapshot, so observers can keep a 4-byte
+// id per recorded access and rebuild the full CallStack only for the rare
+// accesses that become race candidates (the fast detection substrate's lazy
+// capture — DESIGN.md §2).
+//
+// Nodes are never freed: a ContextId stays valid for the lifetime of the
+// Machine, which is what lets shadow memory refer to long-gone frames.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/thread.hpp"
+
+namespace owl::interp {
+
+class ContextTree {
+ public:
+  ContextTree() { nodes_.push_back(Node{}); }  // id 0 == kNoContext sentinel
+
+  /// Interns (parent, function, call_site); repeated pushes of the same
+  /// triple return the same id.
+  ContextId push(ContextId parent, const ir::Function* function,
+                 const ir::Instruction* call_site);
+
+  /// Rebuilds the call stack for `leaf`, outermost first, with `innermost`
+  /// as the instruction of the deepest frame — byte-for-byte what
+  /// Thread::call_stack() returns when the thread's top frame has context
+  /// `leaf` and is about to execute `innermost`. kNoContext yields an
+  /// empty stack.
+  CallStack call_stack(ContextId leaf, const ir::Instruction* innermost) const;
+
+  /// Number of interned contexts (excluding the sentinel).
+  std::size_t size() const noexcept { return nodes_.size() - 1; }
+
+ private:
+  struct Node {
+    ContextId parent = kNoContext;
+    const ir::Function* function = nullptr;
+    const ir::Instruction* call_site = nullptr;
+  };
+  struct Key {
+    ContextId parent;
+    const ir::Function* function;
+    const ir::Instruction* call_site;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      std::uint64_t h = key.parent;
+      h = h * 0x9E3779B97F4A7C15ull ^
+          reinterpret_cast<std::uintptr_t>(key.function);
+      h = h * 0x9E3779B97F4A7C15ull ^
+          reinterpret_cast<std::uintptr_t>(key.call_site);
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+
+  std::vector<Node> nodes_;
+  std::unordered_map<Key, ContextId, KeyHash> intern_;
+};
+
+}  // namespace owl::interp

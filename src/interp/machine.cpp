@@ -288,6 +288,9 @@ void Machine::enter_function(Thread& thread, const ir::Function* callee,
   frame.index = 0;
   frame.call_site = call_site;
   frame.serial = next_frame_serial_++;
+  frame.ctx = contexts_.push(
+      thread.frames().empty() ? kNoContext : thread.top().ctx, callee,
+      call_site);
   for (std::size_t i = 0; i < callee->arguments().size(); ++i) {
     frame.regs[callee->argument(i)] = i < args.size() ? args[i] : 0;
   }
@@ -408,7 +411,15 @@ void Machine::notify_access(const Observer::Access& access) {
   if (fault_injector_ != nullptr && fault_injector_->truncate_events()) {
     return;  // injected truncation: observers miss this event
   }
-  for (Observer* obs : observers_) obs->on_access(access, *this);
+  if (observers_.empty()) return;
+  // Stamp the accessing thread's interned calling context so observers can
+  // defer call-stack materialization (notify runs before the frame index
+  // advances, so the top frame is still at `access.instr`).
+  Observer::Access stamped = access;
+  if (const Thread* t = thread(access.tid)) {
+    stamped.context = t->context();
+  }
+  for (Observer* obs : observers_) obs->on_access(stamped, *this);
 }
 
 void Machine::notify_sync(ThreadId tid, Observer::SyncKind kind,

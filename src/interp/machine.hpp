@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ir/module.hpp"
+#include "interp/context.hpp"
 #include "interp/debugger.hpp"
 #include "interp/memory.hpp"
 #include "interp/scheduler.hpp"
@@ -86,6 +87,10 @@ class Observer {
     Word value;        ///< value read, or value being written
     bool is_write;
     bool is_atomic;
+    /// Interned calling context of the accessing thread at the moment of
+    /// the access (see ContextTree). Together with `instr` it reproduces
+    /// the thread's call stack without snapshotting it eagerly.
+    ContextId context = kNoContext;
   };
 
   enum class SyncKind {
@@ -179,6 +184,10 @@ class Machine {
 
   std::uint64_t tick() const noexcept { return tick_; }
 
+  /// The interned calling-context tree for this execution (grows as frames
+  /// are pushed; ids stay valid for the machine's lifetime).
+  const ContextTree& contexts() const noexcept { return contexts_; }
+
   /// Base address of a global (allocated at construction).
   Address global_address(const ir::GlobalVariable* global) const;
   Address global_address(std::string_view name) const;
@@ -248,6 +257,7 @@ class Machine {
   const ir::Module* module_;
   MachineOptions options_;
   Memory memory_;
+  ContextTree contexts_;
   std::vector<std::unique_ptr<Thread>> threads_;
   std::vector<Observer*> observers_;
   Debugger* debugger_ = nullptr;

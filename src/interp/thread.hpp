@@ -14,6 +14,12 @@ namespace owl::interp {
 
 using ThreadId = std::uint32_t;
 
+/// Interned calling-context id (see context.hpp). Frames carry one so
+/// observers can reconstruct call stacks lazily instead of snapshotting
+/// them on every memory access.
+using ContextId = std::uint32_t;
+inline constexpr ContextId kNoContext = 0;
+
 /// One entry of a call stack, outermost-first. Race reports and Algorithm 1
 /// both consume this shape (the paper's Fig. 4).
 struct StackEntry {
@@ -39,6 +45,7 @@ struct Frame {
   const ir::BasicBlock* prev_block = nullptr;  ///< for phi resolution
   const ir::Instruction* call_site = nullptr;  ///< in the caller
   std::uint64_t serial = 0;                  ///< for stack-object lifetime
+  ContextId ctx = kNoContext;                ///< interned calling context
   std::unordered_map<const ir::Value*, Word> regs;
 
   const ir::Instruction* current() const {
@@ -81,6 +88,13 @@ class Thread {
 
   /// Snapshot of the current call stack, outermost first.
   CallStack call_stack() const;
+
+  /// Interned id of the current calling context (kNoContext when no frame
+  /// is active). Combined with the pending instruction it reproduces
+  /// call_stack() via ContextTree::call_stack.
+  ContextId context() const noexcept {
+    return frames_.empty() ? kNoContext : frames_.back().ctx;
+  }
 
   // Blocking bookkeeping (interpreted by the Machine).
   Address blocked_mutex = 0;

@@ -1,6 +1,7 @@
 #include "race/atomicity_detector.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace owl::race {
 
@@ -46,6 +47,16 @@ std::string AtomicityReport::to_string() const {
   out += "  local:  " + second_local.to_string() + "\n";
   out += interp::call_stack_to_string(second_local.stack);
   return out;
+}
+
+std::pair<std::uint64_t, std::uint64_t> AtomicityReport::race_key()
+    const noexcept {
+  // Mirrors RaceReport::key() over to_race_report()'s (first = remote,
+  // second = second_local) pair.
+  const std::uint64_t a = remote.instr != nullptr ? remote.instr->id() : 0;
+  const std::uint64_t b =
+      second_local.instr != nullptr ? second_local.instr->id() : 0;
+  return {std::min(a, b), std::max(a, b)};
 }
 
 RaceReport AtomicityReport::to_race_report() const {

@@ -25,6 +25,7 @@
 
 #include <array>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "interp/machine.hpp"
@@ -46,6 +47,11 @@ struct AtomicityReport {
 
   /// Static dedup key over the instruction triple.
   std::array<std::uint64_t, 3> key() const noexcept;
+
+  /// The key to_race_report().key() would produce, without materializing
+  /// the full RaceReport (and copying three call stacks). The race
+  /// verifier's replay loop compares candidates by this.
+  std::pair<std::uint64_t, std::uint64_t> race_key() const noexcept;
 
   /// The local read whose value the remote write invalidated — what the
   /// vulnerability analyzer treats as the corrupted read. For the kWRW

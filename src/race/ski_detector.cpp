@@ -6,11 +6,12 @@ ScheduleExplorationResult explore_schedules(const MachineFactory& factory,
                                             unsigned num_schedules,
                                             std::uint64_t base_seed,
                                             const AnnotationSet* annotations,
-                                            unsigned pct_depth) {
+                                            unsigned pct_depth,
+                                            DetectorImpl impl) {
   ScheduleExplorationResult result;
   for (unsigned i = 0; i < num_schedules; ++i) {
     std::unique_ptr<interp::Machine> machine = factory();
-    SkiDetector detector(annotations);
+    SkiDetector detector(annotations, impl);
     machine->add_observer(&detector);
     interp::PctScheduler scheduler(base_seed + i, pct_depth,
                                    /*expected_steps=*/20000);

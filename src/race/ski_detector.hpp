@@ -18,8 +18,9 @@ namespace owl::race {
 
 class SkiDetector final : public TsanDetector {
  public:
-  explicit SkiDetector(const AnnotationSet* annotations = nullptr)
-      : TsanDetector(annotations, /*ski_watch_mode=*/true) {}
+  explicit SkiDetector(const AnnotationSet* annotations = nullptr,
+                       DetectorImpl impl = DetectorImpl::kFast)
+      : TsanDetector(annotations, /*ski_watch_mode=*/true, impl) {}
 };
 
 /// Builds one fresh, ready-to-run machine per schedule (threads spawned,
@@ -38,6 +39,6 @@ struct ScheduleExplorationResult {
 ScheduleExplorationResult explore_schedules(
     const MachineFactory& factory, unsigned num_schedules,
     std::uint64_t base_seed, const AnnotationSet* annotations = nullptr,
-    unsigned pct_depth = 3);
+    unsigned pct_depth = 3, DetectorImpl impl = DetectorImpl::kFast);
 
 }  // namespace owl::race

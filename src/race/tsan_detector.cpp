@@ -5,6 +5,29 @@
 
 namespace owl::race {
 
+void TsanDetector::on_access(const Access& access,
+                             const interp::Machine& machine) {
+  if (impl_ == DetectorImpl::kFast) {
+    fast_on_access(access, machine);
+  } else {
+    ref_on_access(access, machine);
+  }
+}
+
+void TsanDetector::on_sync(const Sync& sync, const interp::Machine& machine) {
+  if (impl_ == DetectorImpl::kFast) {
+    fast_on_sync(sync, machine);
+  } else {
+    ref_on_sync(sync, machine);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation — the original hash-map substrate, kept verbatim
+// so the differential gate has a ground truth to compare the fast path
+// against. Do not optimize this path.
+// ---------------------------------------------------------------------------
+
 AccessRecord TsanDetector::make_record(const Access& access,
                                        const interp::Machine& machine) const {
   AccessRecord rec;
@@ -19,8 +42,8 @@ AccessRecord TsanDetector::make_record(const Access& access,
   return rec;
 }
 
-void TsanDetector::on_access(const Access& access,
-                             const interp::Machine& machine) {
+void TsanDetector::ref_on_access(const Access& access,
+                                 const interp::Machine& machine) {
   VectorClock& ct = clock(access.tid);
   Shadow& shadow = shadow_[access.addr];
 
@@ -91,6 +114,249 @@ void TsanDetector::on_access(const Access& access,
   }
 }
 
+void TsanDetector::ref_on_sync(const Sync& sync, const interp::Machine&) {
+  VectorClock& ct = clock(sync.tid);
+  switch (sync.kind) {
+    case SyncKind::kLockAcquire:
+      ct.join(lock_clocks_[sync.addr]);
+      break;
+    case SyncKind::kLockRelease:
+      lock_clocks_[sync.addr] = ct;
+      ct.increment(sync.tid);
+      break;
+    case SyncKind::kHbRelease:
+      sync_clocks_[sync.addr].join(ct);
+      ct.increment(sync.tid);
+      break;
+    case SyncKind::kHbAcquire:
+      ct.join(sync_clocks_[sync.addr]);
+      break;
+    case SyncKind::kThreadCreate: {
+      const auto child = static_cast<ThreadId>(sync.addr);
+      VectorClock& cc = clock(child);
+      cc.join(ct);
+      cc.increment(child);
+      ct.increment(sync.tid);
+      break;
+    }
+    case SyncKind::kThreadFinish:
+      finished_clocks_[sync.tid] = ct;
+      break;
+    case SyncKind::kThreadJoin: {
+      const auto target = static_cast<ThreadId>(sync.addr);
+      auto it = finished_clocks_.find(target);
+      if (it != finished_clocks_.end()) ct.join(it->second);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fast implementation — paged shadow, epoch fast paths, dense clocks, lazy
+// candidate capture. Every divergence from ref_on_access must be provably
+// unobservable in the emitted reports; the comments below carry the proofs
+// the differential gate then checks empirically.
+// ---------------------------------------------------------------------------
+
+VectorClock& TsanDetector::fast_clock(ThreadId tid) {
+  if (tid >= fast_clocks_.size()) fast_clocks_.resize(tid + 1);
+  return fast_clocks_[tid];
+}
+
+AccessRecord TsanDetector::record_from_access(
+    const Access& access, const interp::Machine& machine) const {
+  AccessRecord rec;
+  rec.tid = access.tid;
+  rec.instr = access.instr;
+  rec.addr = access.addr;
+  rec.value = access.value;
+  rec.is_write = access.is_write;
+  // The context id was stamped while the accessing frame was still at
+  // access.instr, so this reproduces Thread::call_stack() exactly.
+  rec.stack = machine.contexts().call_stack(access.context, access.instr);
+  return rec;
+}
+
+AccessRecord TsanDetector::record_from_cell(
+    const ShadowCell& cell, interp::Address addr, bool is_write,
+    const interp::Machine& machine) const {
+  AccessRecord rec;
+  rec.tid = cell.tid;
+  rec.instr = cell.instr;
+  rec.addr = addr;
+  rec.value = cell.value;
+  rec.is_write = is_write;
+  // Context ids outlive frames, so this is the stack as of the recorded
+  // access — not the thread's current one.
+  rec.stack = machine.contexts().call_stack(cell.ctx, cell.instr);
+  return rec;
+}
+
+void TsanDetector::fast_feed_watchers(const Access& access,
+                                      const interp::Machine& machine) {
+  if (watched_.empty()) return;
+  if (watched_.find(access.addr) == watched_.end()) return;
+  feed_watchers(record_from_access(access, machine));
+}
+
+void TsanDetector::fast_on_access(const Access& access,
+                                  const interp::Machine& machine) {
+  const bool annotated_release =
+      annotations_ != nullptr && annotations_->is_release_store(access.instr);
+  const bool annotated_acquire =
+      annotations_ != nullptr && annotations_->is_acquire_load(access.instr);
+
+  if (access.is_atomic || annotated_release || annotated_acquire) {
+    VectorClock& ct = fast_clock(access.tid);
+    VectorClock& sync = fast_sync_clocks_[access.addr];
+    if (access.is_atomic || annotated_acquire) {
+      ct.join(sync);  // acquire side
+    }
+    if (access.is_atomic || annotated_release) {
+      if (access.is_write) {
+        ShadowSlot& slot = fast_shadow_.slot(access.addr);
+        slot.set_write(ShadowCell{access.tid, access.context,
+                                  ct.get(access.tid), access.instr,
+                                  access.value});
+        slot.clear_reads();
+      }
+      sync.join(ct);  // release side
+      ct.increment(access.tid);
+    } else if (!access.is_write) {
+      fast_feed_watchers(access, machine);
+    }
+    return;
+  }
+
+  ShadowSlot& slot = fast_shadow_.slot(access.addr);
+  VectorClock& ct = fast_clock(access.tid);
+  const std::uint64_t own_epoch = ct.get(access.tid);
+
+  if (access.is_write) {
+    // Same-owner store fast path (FastTrack's "same epoch" case): the last
+    // write was ours and no reads intervened, so there is nothing to order
+    // against — refresh the cell and leave. Requires an idle watch list:
+    // the reference path would erase this address from it.
+    if (slot.has_write && slot.write.tid == access.tid && !slot.has_reads() &&
+        (!ski_watch_mode_ || watched_.empty())) {
+      slot.write = ShadowCell{access.tid, access.context, own_epoch,
+                              access.instr, access.value};
+      return;
+    }
+
+    std::optional<AccessRecord> current;  // materialized at most once
+    if (slot.has_write && slot.write.tid != access.tid &&
+        !VectorClock::epoch_leq(slot.write.tid, slot.write.epoch, ct)) {
+      current = record_from_access(access, machine);
+      record_race(record_from_cell(slot.write, access.addr,
+                                   /*is_write=*/true, machine),
+                  *current, machine);
+    }
+    slot.for_each_read([&](const ShadowCell& read) {
+      if (read.tid != access.tid &&
+          !VectorClock::epoch_leq(read.tid, read.epoch, ct)) {
+        if (!current.has_value()) {
+          current = record_from_access(access, machine);
+        }
+        record_race(record_from_cell(read, access.addr, /*is_write=*/false,
+                                     machine),
+                    *current, machine);
+      }
+    });
+    slot.set_write(ShadowCell{access.tid, access.context, own_epoch,
+                              access.instr, access.value});
+    slot.clear_reads();
+    // A write sanitizes the watch list for this address (§6.3).
+    if (ski_watch_mode_) watched_.erase(access.addr);
+  } else {
+    // Same-reader fast path: this thread already has a read cell here that
+    // was checked race-free against the current shadow write. Every write
+    // clears the read set (so the write cannot have changed while the cell
+    // survives) and clocks only grow, so the check cannot newly fail —
+    // refresh the cell and leave. Requires an idle watch list: the
+    // reference path would feed this read to watchers.
+    ShadowCell* own = slot.find_read(access.tid);
+    if (own != nullptr && own->no_race && watched_.empty()) {
+      *own = ShadowCell{access.tid, access.context, own_epoch, access.instr,
+                        access.value, /*no_race=*/true};
+      return;
+    }
+
+    bool raced = false;
+    if (slot.has_write && slot.write.tid != access.tid &&
+        !VectorClock::epoch_leq(slot.write.tid, slot.write.epoch, ct)) {
+      raced = true;
+      record_race(record_from_cell(slot.write, access.addr,
+                                   /*is_write=*/true, machine),
+                  record_from_access(access, machine), machine);
+    }
+    // Keep at most one read epoch per thread (replace in place to preserve
+    // the reference's insertion-order iteration).
+    const ShadowCell cell{access.tid, access.context, own_epoch, access.instr,
+                          access.value, /*no_race=*/!raced};
+    if (own != nullptr) {
+      *own = cell;
+    } else {
+      slot.add_read(cell);
+    }
+    fast_feed_watchers(access, machine);
+  }
+}
+
+void TsanDetector::fast_on_sync(const Sync& sync, const interp::Machine&) {
+  switch (sync.kind) {
+    case SyncKind::kLockAcquire:
+      fast_clock(sync.tid).join(fast_lock_clocks_[sync.addr]);
+      break;
+    case SyncKind::kLockRelease: {
+      VectorClock& ct = fast_clock(sync.tid);
+      fast_lock_clocks_[sync.addr] = ct;
+      ct.increment(sync.tid);
+      break;
+    }
+    case SyncKind::kHbRelease: {
+      VectorClock& ct = fast_clock(sync.tid);
+      fast_sync_clocks_[sync.addr].join(ct);
+      ct.increment(sync.tid);
+      break;
+    }
+    case SyncKind::kHbAcquire:
+      fast_clock(sync.tid).join(fast_sync_clocks_[sync.addr]);
+      break;
+    case SyncKind::kThreadCreate: {
+      const auto child = static_cast<ThreadId>(sync.addr);
+      // Grow once up front: taking both references before any resize keeps
+      // them valid (vector reallocation would invalidate the first).
+      fast_clock(std::max(child, sync.tid));
+      VectorClock& ct = fast_clocks_[sync.tid];
+      VectorClock& cc = fast_clocks_[child];
+      cc.join(ct);
+      cc.increment(child);
+      ct.increment(sync.tid);
+      break;
+    }
+    case SyncKind::kThreadFinish:
+      if (sync.tid >= fast_finished_.size()) {
+        fast_finished_.resize(sync.tid + 1);
+      }
+      fast_finished_[sync.tid] = fast_clock(sync.tid);
+      break;
+    case SyncKind::kThreadJoin: {
+      const auto target = static_cast<ThreadId>(sync.addr);
+      // Slots a resize created but no finish filled hold empty clocks;
+      // joining one is a no-op, matching the reference's map miss.
+      if (target < fast_finished_.size()) {
+        fast_clock(sync.tid).join(fast_finished_[target]);
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared report plumbing — byte-identical currency for both implementations.
+// ---------------------------------------------------------------------------
+
 void TsanDetector::record_race(const AccessRecord& prior,
                                const AccessRecord& current,
                                const interp::Machine& machine) {
@@ -141,44 +407,9 @@ void TsanDetector::feed_watchers(const AccessRecord& read) {
   }
 }
 
-void TsanDetector::on_sync(const Sync& sync, const interp::Machine&) {
-  VectorClock& ct = clock(sync.tid);
-  switch (sync.kind) {
-    case SyncKind::kLockAcquire:
-      ct.join(lock_clocks_[sync.addr]);
-      break;
-    case SyncKind::kLockRelease:
-      lock_clocks_[sync.addr] = ct;
-      ct.increment(sync.tid);
-      break;
-    case SyncKind::kHbRelease:
-      sync_clocks_[sync.addr].join(ct);
-      ct.increment(sync.tid);
-      break;
-    case SyncKind::kHbAcquire:
-      ct.join(sync_clocks_[sync.addr]);
-      break;
-    case SyncKind::kThreadCreate: {
-      const auto child = static_cast<ThreadId>(sync.addr);
-      VectorClock& cc = clock(child);
-      cc.join(ct);
-      cc.increment(child);
-      ct.increment(sync.tid);
-      break;
-    }
-    case SyncKind::kThreadFinish:
-      finished_clocks_[sync.tid] = ct;
-      break;
-    case SyncKind::kThreadJoin: {
-      const auto target = static_cast<ThreadId>(sync.addr);
-      auto it = finished_clocks_.find(target);
-      if (it != finished_clocks_.end()) ct.join(it->second);
-      break;
-    }
-  }
-}
-
 std::vector<RaceReport> TsanDetector::take_reports() {
+  // Keys are unique in reports_ (record_race deduplicates on insert), so a
+  // plain sort is deterministic.
   std::sort(reports_.begin(), reports_.end(), report_order);
   index_.clear();
   watched_.clear();
@@ -187,7 +418,10 @@ std::vector<RaceReport> TsanDetector::take_reports() {
 
 void merge_reports(std::vector<RaceReport>& into,
                    std::vector<RaceReport>&& from) {
-  std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> index;
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, std::size_t,
+                     ReportKeyHash>
+      index;
+  index.reserve(into.size() + from.size());
   for (std::size_t i = 0; i < into.size(); ++i) {
     index.emplace(into[i].key(), i);
   }
@@ -208,7 +442,9 @@ void merge_reports(std::vector<RaceReport>& into,
         std::make_move_iterator(report.watched_reads.begin()),
         std::make_move_iterator(report.watched_reads.end()));
   }
-  std::sort(into.begin(), into.end(), report_order);
+  // Keys are unique after the merge loop, so stable vs unstable sort give
+  // the same order; stable_sort documents that merge order is key order.
+  std::stable_sort(into.begin(), into.end(), report_order);
 }
 
 }  // namespace owl::race

@@ -12,31 +12,70 @@
 //    start from;
 //  - in SKI mode (ski_detector.hpp) every subsequent read's call stack is
 //    logged until a write sanitizes the address.
+//
+// Two implementations of the hot path live behind DetectorImpl:
+//  - kFast (default): paged shadow memory, FastTrack-style epoch fast
+//    paths, dense ThreadId-indexed clock tables, and lazy race-candidate
+//    capture (call stacks rebuilt from interned context ids only when an
+//    access actually races) — see DESIGN.md §2 "fast substrate";
+//  - kReference: the original hash-map implementation, kept verbatim so
+//    the CI differential gate can prove the fast path emits byte-identical
+//    reports on every workload, seed, and jobs value.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "interp/machine.hpp"
 #include "race/annotations.hpp"
 #include "race/report.hpp"
+#include "race/shadow_memory.hpp"
 #include "race/vector_clock.hpp"
 
 namespace owl::race {
+
+/// Which detection-substrate implementation runs the hot path. Both emit
+/// byte-identical reports; kReference exists for the differential gate.
+enum class DetectorImpl {
+  kFast,
+  kReference,
+};
+
+/// Hash for the (min instruction id, max instruction id) report key — the
+/// report index is a flat hash instead of an ordered map; take_reports'
+/// final sort provides the stable order.
+struct ReportKeyHash {
+  std::size_t operator()(
+      const std::pair<std::uint64_t, std::uint64_t>& key) const noexcept {
+    std::uint64_t h = key.first * 0x9E3779B97F4A7C15ull;
+    h ^= key.second + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
 
 class TsanDetector : public interp::Observer {
  public:
   /// `annotations` may be nullptr (first detection run). `ski_watch_mode`
   /// enables the §6.3 watch-list policy of logging all reads after a race.
   explicit TsanDetector(const AnnotationSet* annotations = nullptr,
-                        bool ski_watch_mode = false)
-      : annotations_(annotations), ski_watch_mode_(ski_watch_mode) {}
+                        bool ski_watch_mode = false,
+                        DetectorImpl impl = DetectorImpl::kFast)
+      : annotations_(annotations), ski_watch_mode_(ski_watch_mode),
+        impl_(impl) {
+    index_.reserve(16);
+    if (impl_ == DetectorImpl::kFast) {
+      fast_lock_clocks_.reserve(16);
+      fast_sync_clocks_.reserve(16);
+    }
+  }
 
   void on_access(const Access& access,
                  const interp::Machine& machine) override;
   void on_sync(const Sync& sync, const interp::Machine& machine) override;
+
+  DetectorImpl impl() const noexcept { return impl_; }
 
   /// Deduplicated reports in stable (key) order.
   std::vector<RaceReport> take_reports();
@@ -56,23 +95,59 @@ class TsanDetector : public interp::Observer {
     std::vector<ShadowAccess> reads;  ///< reads since the last write
   };
 
+  // --- reference implementation (DetectorImpl::kReference) ---
+  void ref_on_access(const Access& access, const interp::Machine& machine);
+  void ref_on_sync(const Sync& sync, const interp::Machine& machine);
   VectorClock& clock(ThreadId tid) { return clocks_[tid]; }
   AccessRecord make_record(const Access& access,
                            const interp::Machine& machine) const;
+
+  // --- fast implementation (DetectorImpl::kFast) ---
+  void fast_on_access(const Access& access, const interp::Machine& machine);
+  void fast_on_sync(const Sync& sync, const interp::Machine& machine);
+  VectorClock& fast_clock(ThreadId tid);
+  /// Materializes the full record for the in-flight access (lazy capture:
+  /// only called once the access is a race candidate or watch-list food).
+  AccessRecord record_from_access(const Access& access,
+                                  const interp::Machine& machine) const;
+  /// Materializes the record for a prior access from its shadow cell,
+  /// rebuilding the as-of-access-time call stack from the interned context.
+  AccessRecord record_from_cell(const ShadowCell& cell, interp::Address addr,
+                                bool is_write,
+                                const interp::Machine& machine) const;
+  void fast_feed_watchers(const Access& access,
+                          const interp::Machine& machine);
+
+  // --- shared report plumbing (identical for both implementations) ---
   void record_race(const AccessRecord& prior, const AccessRecord& current,
                    const interp::Machine& machine);
   void feed_watchers(const AccessRecord& read);
 
   const AnnotationSet* annotations_;
   bool ski_watch_mode_;
+  DetectorImpl impl_;
 
+  // Reference state: hash-map shadow and clock tables.
   std::unordered_map<ThreadId, VectorClock> clocks_;
   std::unordered_map<interp::Address, VectorClock> lock_clocks_;
   std::unordered_map<interp::Address, VectorClock> sync_clocks_;
   std::unordered_map<ThreadId, VectorClock> finished_clocks_;
   std::unordered_map<interp::Address, Shadow> shadow_;
 
-  std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> index_;
+  // Fast state: paged shadow, dense ThreadId-indexed clock tables (Machine
+  // assigns tids sequentially from 0), reserved hash maps for the
+  // address-keyed clocks. An empty clock in fast_finished_ means "never
+  // finished" — joining an empty clock is a no-op, exactly like the
+  // reference's map-miss.
+  PagedShadow fast_shadow_;
+  std::vector<VectorClock> fast_clocks_;
+  std::vector<VectorClock> fast_finished_;
+  std::unordered_map<interp::Address, VectorClock> fast_lock_clocks_;
+  std::unordered_map<interp::Address, VectorClock> fast_sync_clocks_;
+
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, std::size_t,
+                     ReportKeyHash>
+      index_;
   std::vector<RaceReport> reports_;
   /// Addresses whose reports still await a supplemental read / SKI logging.
   std::unordered_map<interp::Address, std::vector<std::size_t>> watched_;

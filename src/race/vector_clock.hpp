@@ -2,7 +2,10 @@
 //
 // The TSan substrate (DESIGN.md §2) uses full vector clocks rather than
 // FastTrack epochs: simulated executions are small enough that precision is
-// worth more than the constant-factor speedup.
+// worth more than the constant-factor speedup. The fast detection substrate
+// layers FastTrack-style same-epoch shortcuts *in front of* these clocks
+// (tsan_detector.cpp) but always falls back to the full-vector comparison,
+// so precision — and the emitted reports — are unchanged.
 #pragma once
 
 #include <cstdint>
@@ -49,12 +52,23 @@ class VectorClock {
   std::size_t size() const noexcept { return clocks_.size(); }
   bool empty() const noexcept;
 
+  /// Pre-reserves capacity for `threads` components without changing the
+  /// observable size (detectors that know the thread count call this once
+  /// so interleaved ensure() calls never reallocate).
+  void reserve(std::size_t threads) { clocks_.reserve(threads); }
+  std::size_t capacity() const noexcept { return clocks_.capacity(); }
+
   std::string to_string() const;
 
  private:
   void ensure(ThreadId tid) {
-    if (tid >= clocks_.size()) clocks_.resize(tid + 1, 0);
+    if (tid >= clocks_.size()) grow_to(tid + 1);
   }
+
+  /// Grows to exactly `count` components, but reserves geometrically so
+  /// interleaved ensure(t0), ensure(t1), ... over increasing tids costs
+  /// O(n) amortized instead of one reallocation (and full copy) per tid.
+  void grow_to(std::size_t count);
 
   std::vector<std::uint64_t> clocks_;
 };

@@ -252,7 +252,7 @@ RaceVerifier::AttemptOutcome RaceVerifier::run_atomicity_attempt(
   out.steps = run.steps;
   budget.charge_steps(run.steps);
   for (const race::AtomicityReport& found : detector.reports()) {
-    if (found.to_race_report().key() != want) continue;
+    if (found.race_key() != want) continue;
     out.verified = true;
     if (const race::AccessRecord* read = found.corrupted_read()) {
       out.value_about_to_read = read->value;

@@ -1,0 +1,544 @@
+// Differential tests for the fast detection substrate (DESIGN.md §2):
+// DetectorImpl::kFast (paged shadow, epoch fast paths, dense clocks, lazy
+// candidate capture) must emit byte-identical reports to
+// DetectorImpl::kReference (the original hash-map substrate) on every
+// workload, seed, and jobs value.
+//
+// Two layers of comparison:
+//  - co-observer: one machine run feeds BOTH detectors, so the event
+//    streams are literally identical and any divergence is the detector's;
+//  - pipeline: full Pipeline runs (detection -> annotation -> verification)
+//    under each impl, diffed through core::serialize_result — including a
+//    jobs=4 fan-out and an injected detection fault.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "ir/parser.hpp"
+#include "ir/verifier.hpp"
+#include "race/ski_detector.hpp"
+#include "race/tsan_detector.hpp"
+
+namespace owl::race {
+namespace {
+
+std::shared_ptr<ir::Module> parse_ok(std::string_view text) {
+  auto result = ir::parse_module(text);
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  std::shared_ptr<ir::Module> m = std::move(result).value();
+  EXPECT_TRUE(ir::verify_module(*m).is_ok());
+  return m;
+}
+
+/// Exhaustive rendering: everything a RaceReport carries, including the
+/// fields to_string() omits (kind, key, watched reads with stacks), so the
+/// byte-compare cannot miss a divergence.
+std::string render_full(const std::vector<RaceReport>& reports) {
+  std::string out;
+  for (const RaceReport& r : reports) {
+    out += "key=" + std::to_string(r.key().first) + "/" +
+           std::to_string(r.key().second) + " kind=" +
+           std::to_string(static_cast<int>(r.kind)) + "\n";
+    out += r.to_string();
+    if (r.supplemental_read.has_value()) {
+      out += interp::call_stack_to_string(r.supplemental_read->stack);
+    }
+    out += "watched_reads=" + std::to_string(r.watched_reads.size()) + "\n";
+    for (const AccessRecord& read : r.watched_reads) {
+      out += "  " + read.to_string() + "\n";
+      out += interp::call_stack_to_string(read.stack);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+struct DifferentialResult {
+  std::string reference;
+  std::string fast;
+  std::uint64_t reference_dynamic = 0;
+  std::uint64_t fast_dynamic = 0;
+};
+
+/// Runs one machine with both detectors co-observing the identical event
+/// stream.
+DifferentialResult run_both(const ir::Module& m, std::uint64_t seed,
+                            const AnnotationSet* annotations = nullptr,
+                            bool ski = false) {
+  interp::MachineOptions options;
+  interp::Machine machine(m, options);
+  TsanDetector reference(annotations, ski, DetectorImpl::kReference);
+  TsanDetector fast(annotations, ski, DetectorImpl::kFast);
+  machine.add_observer(&reference);
+  machine.add_observer(&fast);
+  machine.start(m.find_function("main"));
+  interp::RandomScheduler sched(seed);
+  machine.run(sched);
+  DifferentialResult result;
+  result.reference_dynamic = reference.dynamic_race_count();
+  result.fast_dynamic = fast.dynamic_race_count();
+  result.reference = render_full(reference.take_reports());
+  result.fast = render_full(fast.take_reports());
+  return result;
+}
+
+void expect_identical(const ir::Module& m, std::uint64_t seeds,
+                      const AnnotationSet* annotations = nullptr,
+                      bool ski = false) {
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const DifferentialResult result = run_both(m, seed, annotations, ski);
+    EXPECT_EQ(result.reference, result.fast)
+        << "impl divergence at seed " << seed;
+    EXPECT_EQ(result.reference_dynamic, result.fast_dynamic)
+        << "dynamic-count divergence at seed " << seed;
+    EXPECT_FALSE(result.reference.empty() && seed == 0);
+  }
+}
+
+const char* kReadWriteRace = R"(module rw
+global @x
+global @y
+func @writer() {
+entry:
+  store 1, @x
+  store 2, @y
+  ret
+}
+func @reader() {
+entry:
+  %v = load @x
+  %w = load @x
+  %u = load @y
+  ret
+}
+func @main() {
+entry:
+  %a = thread_create @writer, 0
+  %b = thread_create @reader, 0
+  thread_join %a
+  thread_join %b
+  ret
+}
+)";
+
+TEST(DetectorDifferentialTest, ReadWriteRaces) {
+  auto m = parse_ok(kReadWriteRace);
+  expect_identical(*m, 8);
+}
+
+// Write-write races exercise the supplemental-read watch list: the first
+// subsequent load must attach to the same report under both impls.
+TEST(DetectorDifferentialTest, WriteWriteWithSupplementalRead) {
+  auto m = parse_ok(R"(module ww
+global @x
+func @w1() {
+entry:
+  store 1, @x
+  ret
+}
+func @w2() {
+entry:
+  store 2, @x
+  %v = load @x
+  ret
+}
+func @main() {
+entry:
+  %a = thread_create @w1, 0
+  %b = thread_create @w2, 0
+  thread_join %a
+  thread_join %b
+  %r = load @x
+  ret
+}
+)");
+  expect_identical(*m, 8);
+}
+
+// Loops hammer the same-epoch fast paths (repeat reads and writes by the
+// same thread at the same address) while the other thread races.
+TEST(DetectorDifferentialTest, LoopedAccessesHitFastPaths) {
+  auto m = parse_ok(R"(module loop
+global @ctr
+func @worker() {
+entry:
+  jmp loop
+loop:
+  %i = phi [0, entry], [%n, loop]
+  %v = load @ctr
+  store %v, @ctr
+  %n = add %i, 1
+  %c = icmp slt %n, 50
+  br %c, loop, out
+out:
+  ret
+}
+func @main() {
+entry:
+  %a = thread_create @worker, 0
+  %b = thread_create @worker, 0
+  thread_join %a
+  thread_join %b
+  ret
+}
+)");
+  expect_identical(*m, 8);
+}
+
+// Locks, atomics, and thread create/join edges: the dense clock tables and
+// reserved sync maps must carry exactly the reference happens-before.
+TEST(DetectorDifferentialTest, SynchronizationEdges) {
+  auto m = parse_ok(R"(module sync
+global @mu
+global @x
+global @flag
+func @locked() {
+entry:
+  lock @mu
+  %v = load @x
+  store %v, @x
+  unlock @mu
+  ret
+}
+func @atomics() {
+entry:
+  %o = atomic_add @flag, 1
+  %v = load @x
+  ret
+}
+func @main() {
+entry:
+  %a = thread_create @locked, 0
+  %b = thread_create @locked, 0
+  %c = thread_create @atomics, 0
+  thread_join %a
+  thread_join %b
+  thread_join %c
+  %r = load @x
+  ret
+}
+)");
+  expect_identical(*m, 8);
+}
+
+// Ad-hoc annotations flip accesses into release/acquire synchronization;
+// the annotated branch of the fast path must behave identically.
+TEST(DetectorDifferentialTest, AnnotatedAccesses) {
+  auto m = parse_ok(R"(module adhoc
+global @flag
+global @data
+func @producer() {
+entry:
+  store 41, @data
+  store 1, @flag
+  ret
+}
+func @consumer() {
+entry:
+  jmp spin
+spin:
+  %f = load @flag
+  %c = icmp eq %f, 0
+  br %c, spin, go
+go:
+  %v = load @data
+  ret
+}
+func @main() {
+entry:
+  %a = thread_create @producer, 0
+  %b = thread_create @consumer, 0
+  thread_join %a
+  thread_join %b
+  ret
+}
+)");
+  // First pass unannotated: both impls should report the flag/data races.
+  expect_identical(*m, 4);
+
+  // Second pass with the flag pair annotated as release/acquire.
+  const ir::Function* producer = m->find_function("producer");
+  const ir::Function* consumer = m->find_function("consumer");
+  ASSERT_NE(producer, nullptr);
+  ASSERT_NE(consumer, nullptr);
+  const ir::Instruction* release = nullptr;
+  const ir::Instruction* acquire = nullptr;
+  for (const auto& block : producer->blocks()) {
+    for (const auto& instr : block->instructions()) {
+      if (instr->opcode() == ir::Opcode::kStore) release = instr.get();
+    }
+  }
+  for (const auto& block : consumer->blocks()) {
+    for (const auto& instr : block->instructions()) {
+      if (instr->opcode() == ir::Opcode::kLoad &&
+          block->label() == "spin") {
+        acquire = instr.get();
+      }
+    }
+  }
+  ASSERT_NE(release, nullptr);
+  ASSERT_NE(acquire, nullptr);
+  AnnotationSet annotations;
+  annotations.add_release_store(release);
+  annotations.add_acquire_load(acquire);
+  expect_identical(*m, 4, &annotations);
+}
+
+// SKI watch-list mode logs every read after a race until a write
+// sanitizes the address — the fast paths must disengage while the watch
+// list is armed.
+TEST(DetectorDifferentialTest, SkiWatchListMode) {
+  auto m = parse_ok(R"(module ski
+global @x
+func @w1() {
+entry:
+  store 1, @x
+  %a = load @x
+  %b = load @x
+  ret
+}
+func @w2() {
+entry:
+  store 2, @x
+  %c = load @x
+  store 3, @x
+  %d = load @x
+  ret
+}
+func @main() {
+entry:
+  %a = thread_create @w1, 0
+  %b = thread_create @w2, 0
+  thread_join %a
+  thread_join %b
+  ret
+}
+)");
+  expect_identical(*m, 8, nullptr, /*ski=*/true);
+}
+
+// Deep call chains: lazy capture rebuilds the as-of-access-time stacks
+// from interned contexts; they must match the eagerly captured ones.
+TEST(DetectorDifferentialTest, DeepCallStacks) {
+  auto m = parse_ok(R"(module deep
+global @x
+func @leaf() {
+entry:
+  %v = load @x
+  store %v, @x
+  ret
+}
+func @mid() {
+entry:
+  call @leaf()
+  call @leaf()
+  ret
+}
+func @worker() {
+entry:
+  call @mid()
+  ret
+}
+func @main() {
+entry:
+  %a = thread_create @worker, 0
+  %b = thread_create @worker, 0
+  thread_join %a
+  thread_join %b
+  ret
+}
+)");
+  expect_identical(*m, 8);
+}
+
+// explore_schedules (SKI sweep + merge_reports) under both impls.
+TEST(DetectorDifferentialTest, ScheduleExplorationMerges) {
+  auto m = parse_ok(kReadWriteRace);
+  const MachineFactory factory = [&m] {
+    interp::MachineOptions options;
+    auto machine = std::make_unique<interp::Machine>(*m, options);
+    machine->start(m->find_function("main"));
+    return machine;
+  };
+  const ScheduleExplorationResult reference = explore_schedules(
+      factory, /*num_schedules=*/6, /*base_seed=*/3, nullptr,
+      /*pct_depth=*/3, DetectorImpl::kReference);
+  const ScheduleExplorationResult fast = explore_schedules(
+      factory, /*num_schedules=*/6, /*base_seed=*/3, nullptr,
+      /*pct_depth=*/3, DetectorImpl::kFast);
+  EXPECT_EQ(reference.schedules_run, fast.schedules_run);
+  EXPECT_EQ(reference.schedules_with_races, fast.schedules_with_races);
+  EXPECT_EQ(reference.total_steps, fast.total_steps);
+  EXPECT_EQ(render_full(reference.reports), render_full(fast.reports));
+}
+
+// Full-pipeline differential: serialize_result covers counts, stage
+// reports, exploits, and attacks. Run at jobs=1 and jobs=4 under each
+// impl — all four serializations must be byte-identical.
+TEST(DetectorDifferentialTest, PipelineEndToEnd) {
+  auto m1 = parse_ok(kReadWriteRace);
+  auto m2 = parse_ok(R"(module t2
+global @flag
+global @buf [4]
+func @setter() {
+entry:
+  store 9, @flag
+  ret
+}
+func @checker() {
+entry:
+  %f = load @flag
+  %p = gep @buf, %f
+  store 1, %p
+  ret
+}
+func @main() {
+entry:
+  %a = thread_create @setter, 0
+  %b = thread_create @checker, 0
+  thread_join %a
+  thread_join %b
+  ret
+}
+)");
+  std::vector<core::PipelineTarget> targets;
+  for (const auto& m : {m1, m2}) {
+    core::PipelineTarget t;
+    t.name = m->name();
+    t.module = m.get();
+    t.factory = [m] {
+      interp::MachineOptions options;
+      options.max_steps = 50'000;
+      auto machine = std::make_unique<interp::Machine>(*m, options);
+      machine->start(m->find_function("main"));
+      return machine;
+    };
+    t.seed = 7 * (targets.size() + 1);
+    targets.push_back(std::move(t));
+  }
+
+  const auto run = [&targets](DetectorImpl impl, unsigned jobs) {
+    core::PipelineOptions options;
+    options.detector_impl = impl;
+    options.jobs = jobs;
+    const core::Pipeline pipeline(options);
+    std::string out;
+    for (const core::PipelineResult& result : pipeline.run_many(targets)) {
+      out += core::serialize_result(result);
+    }
+    return out;
+  };
+
+  const std::string ref1 = run(DetectorImpl::kReference, 1);
+  EXPECT_EQ(ref1, run(DetectorImpl::kFast, 1));
+  EXPECT_EQ(ref1, run(DetectorImpl::kFast, 4));
+  EXPECT_EQ(ref1, run(DetectorImpl::kReference, 4));
+  EXPECT_NE(ref1.find("data race"), std::string::npos);
+}
+
+// The equivalence must hold under resilience-layer degradation too: a
+// truncate fault in the detection stage drops observer events, but drops
+// the SAME events for both impls (injection happens in the Machine).
+TEST(DetectorDifferentialTest, PipelineWithInjectedFault) {
+  auto m = parse_ok(kReadWriteRace);
+  core::PipelineTarget t;
+  t.name = m->name();
+  t.module = m.get();
+  t.factory = [m] {
+    interp::MachineOptions options;
+    options.max_steps = 50'000;
+    auto machine = std::make_unique<interp::Machine>(*m, options);
+    machine->start(m->find_function("main"));
+    return machine;
+  };
+  t.seed = 11;
+  const std::vector<core::PipelineTarget> targets{t};
+
+  const auto run = [&targets](DetectorImpl impl) {
+    support::FaultInjector injector(/*seed=*/5);
+    support::FaultPlan plan;
+    plan.stage = support::PipelineStage::kDetection;
+    plan.kind = support::FaultKind::kTruncatedEvents;
+    plan.after = 1;
+    injector.add_plan(plan);
+    core::PipelineOptions options;
+    options.detector_impl = impl;
+    options.fault_injector = &injector;
+    const core::Pipeline pipeline(options);
+    std::string out;
+    for (const core::PipelineResult& result : pipeline.run_many(targets)) {
+      out += core::serialize_result(result);
+    }
+    return out;
+  };
+
+  EXPECT_EQ(run(DetectorImpl::kReference), run(DetectorImpl::kFast));
+}
+
+// Regression for the merge_reports index cleanup (flat hash + stable
+// sort): merged output must stay in key order with summed occurrences,
+// earliest supplemental read, and concatenated watched reads.
+TEST(MergeReportsOrderTest, OrderAndAggregationUnchanged) {
+  auto m = parse_ok(kReadWriteRace);
+  // Harvest real reports (real instruction ids) across several seeds.
+  std::vector<std::vector<RaceReport>> batches;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    interp::MachineOptions options;
+    interp::Machine machine(*m, options);
+    TsanDetector detector(nullptr, /*ski_watch_mode=*/true);
+    machine.add_observer(&detector);
+    machine.start(m->find_function("main"));
+    interp::RandomScheduler sched(seed);
+    machine.run(sched);
+    batches.push_back(detector.take_reports());
+  }
+
+  std::vector<RaceReport> merged;
+  std::uint64_t total_occurrences = 0;
+  std::size_t total_watched = 0;
+  for (const auto& batch : batches) {
+    for (const RaceReport& r : batch) {
+      total_occurrences += r.occurrences;
+      total_watched += r.watched_reads.size();
+    }
+    std::vector<RaceReport> copy = batch;
+    merge_reports(merged, std::move(copy));
+  }
+
+  // Key order, unique keys.
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LT(merged[i - 1].key(), merged[i].key());
+  }
+  // Occurrences summed, watched reads concatenated — nothing lost.
+  std::uint64_t merged_occurrences = 0;
+  std::size_t merged_watched = 0;
+  for (const RaceReport& r : merged) {
+    merged_occurrences += r.occurrences;
+    merged_watched += r.watched_reads.size();
+  }
+  EXPECT_EQ(merged_occurrences, total_occurrences);
+  EXPECT_EQ(merged_watched, total_watched);
+  // Earliest supplemental read wins: merging a batch with a different
+  // supplemental read into an existing report must not replace it.
+  for (const RaceReport& r : merged) {
+    if (!r.supplemental_read.has_value()) continue;
+    // Find the first batch that contributed this key with a supplemental.
+    for (const auto& batch : batches) {
+      bool found = false;
+      for (const RaceReport& b : batch) {
+        if (b.key() == r.key() && b.supplemental_read.has_value()) {
+          EXPECT_EQ(b.supplemental_read->instr, r.supplemental_read->instr);
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace owl::race

@@ -103,5 +103,84 @@ TEST(VectorClockTest, TransitivityThroughJoin) {
   EXPECT_TRUE(a.leq(c));
 }
 
+
+// --- edge cases for the fast-substrate rework ---
+
+// leq across clocks of different lengths: components past the shorter
+// clock's end compare against an implicit 0 in both directions.
+TEST(VectorClockTest, LeqDifferentLengths) {
+  VectorClock shorter;
+  shorter.set(0, 1);
+  VectorClock longer;
+  longer.set(0, 1);
+  longer.set(5, 3);
+  EXPECT_TRUE(shorter.leq(longer));
+  EXPECT_FALSE(longer.leq(shorter));  // longer[5]=3 > implicit 0
+
+  // A longer clock whose tail is all zeros still leq's a shorter one.
+  VectorClock padded;
+  padded.set(0, 1);
+  padded.set(7, 0);
+  EXPECT_TRUE(padded.leq(shorter));
+  EXPECT_TRUE(shorter.leq(padded));
+}
+
+// epoch_leq at the boundary epoch 0: epoch 0 happens-before everything,
+// including a clock that has never seen the thread at all.
+TEST(VectorClockTest, EpochLeqAtBoundaryZero) {
+  const VectorClock empty;
+  EXPECT_TRUE(VectorClock::epoch_leq(0, 0, empty));
+  EXPECT_TRUE(VectorClock::epoch_leq(99, 0, empty));
+  EXPECT_FALSE(VectorClock::epoch_leq(0, 1, empty));
+  VectorClock c;
+  c.set(3, 2);
+  EXPECT_TRUE(VectorClock::epoch_leq(3, 0, c));
+  EXPECT_TRUE(VectorClock::epoch_leq(4, 0, c));  // past the end
+  EXPECT_FALSE(VectorClock::epoch_leq(4, 1, c));
+}
+
+// Join growth: size lands exactly on the source size (to_string/size are
+// observable), while capacity grows geometrically so interleaved
+// single-tid growth does not reallocate per element.
+TEST(VectorClockTest, JoinGrowthIsExactInSizeGeometricInCapacity) {
+  VectorClock a;
+  VectorClock b;
+  b.set(6, 9);
+  a.join(b);
+  EXPECT_EQ(a.size(), 7u);           // exact: matches b's size
+  EXPECT_GE(a.capacity(), a.size());
+  EXPECT_EQ(a.get(6), 9u);
+  EXPECT_EQ(a.get(5), 0u);
+
+  // Interleaved increments over increasing tids reuse reserved capacity.
+  VectorClock c;
+  std::size_t reallocations = 0;
+  std::size_t last_capacity = c.capacity();
+  for (ThreadId tid = 0; tid < 64; ++tid) {
+    c.increment(tid);
+    if (c.capacity() != last_capacity) {
+      ++reallocations;
+      last_capacity = c.capacity();
+    }
+  }
+  EXPECT_EQ(c.size(), 64u);
+  // Geometric growth: ~log2(64) reallocation steps, not one per tid.
+  EXPECT_LE(reallocations, 8u);
+  for (ThreadId tid = 0; tid < 64; ++tid) {
+    EXPECT_EQ(c.get(tid), 1u);
+  }
+}
+
+// Joining an empty clock is a strict no-op (the fast substrate relies on
+// this for its "never finished" thread slots).
+TEST(VectorClockTest, JoinWithEmptyIsNoOp) {
+  VectorClock a;
+  a.set(2, 5);
+  const std::string before = a.to_string();
+  a.join(VectorClock());
+  EXPECT_EQ(a.to_string(), before);
+  EXPECT_EQ(a.size(), 3u);
+}
+
 }  // namespace
 }  // namespace owl::race

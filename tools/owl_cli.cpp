@@ -18,6 +18,10 @@
 //   --exploit-inputs a,b,c inputs for the vulnerability verifier re-runs
 //                          (default: same as --inputs)
 //   --detector tsan|ski|atomicity   front-end detector (default: tsan)
+//   --detector-impl fast|reference  detection-substrate implementation:
+//                          the paged-shadow/epoch fast path (default) or
+//                          the original hash-map substrate; both emit
+//                          byte-identical reports (CI diffs them)
 //   --schedules N          detection schedules (default: 4)
 //   --seed S               base schedule seed (default: 1)
 //   --max-steps N          per-run instruction budget (default: 400000)
@@ -66,6 +70,7 @@ struct CliOptions {
   std::vector<interp::Word> inputs;
   std::vector<interp::Word> exploit_inputs;
   core::DetectorKind detector = core::DetectorKind::kTsan;
+  race::DetectorImpl detector_impl = race::DetectorImpl::kFast;
   unsigned schedules = 4;
   std::uint64_t seed = 1;
   std::uint64_t max_steps = 400'000;
@@ -88,6 +93,7 @@ void usage() {
                "usage: owl_cli <program.mir> [more.mir ...]\n"
                "       [--entry main] [--inputs a,b,c] [--jobs N] [--timings]\n"
                "       [--detector tsan|ski|atomicity] [--schedules N]\n"
+               "       [--detector-impl fast|reference]\n"
                "       [--seed S] [--max-steps N] [--no-adhoc]\n"
                "       [--no-race-verifier] [--no-vuln-verifier]\n"
                "       [--whole-program] [--print-module] [--print-reports]\n"
@@ -167,6 +173,16 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
         options.detector = core::DetectorKind::kSki;
       } else if (std::strcmp(v, "atomicity") == 0) {
         options.detector = core::DetectorKind::kAtomicity;
+      } else {
+        return false;
+      }
+    } else if (arg == "--detector-impl") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "fast") == 0) {
+        options.detector_impl = race::DetectorImpl::kFast;
+      } else if (std::strcmp(v, "reference") == 0) {
+        options.detector_impl = race::DetectorImpl::kReference;
       } else {
         return false;
       }
@@ -325,6 +341,7 @@ int main(int argc, char** argv) {
         core::StageBudgets::uniform_wall(options.stage_deadline);
   }
   pipeline_options.retry.max_retries = options.retries;
+  pipeline_options.detector_impl = options.detector_impl;
   pipeline_options.jobs = jobs;
   StageTimings stage_timings;
   if (options.timings) pipeline_options.stage_timings = &stage_timings;
