@@ -10,16 +10,22 @@
 // Parallel knob:
 //   OWL_BENCH_JOBS       worker threads for the parallel sweep in
 //                        run_all_pipelines (default hardware_concurrency)
+// Observability knob:
+//   OWL_MANIFEST_DIR     when set, run_all_pipelines writes a run manifest
+//                        (core/manifest.hpp) to $OWL_MANIFEST_DIR/<tool>.json
 #pragma once
 
+#include <cerrno>  // program_invocation_short_name (glibc)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "core/manifest.hpp"
 #include "core/pipeline.hpp"
 #include "support/log.hpp"
+#include "support/strings.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 #include "workloads/registry.hpp"
@@ -95,6 +101,55 @@ struct ParallelSweep {
   }
 };
 
+/// The bench binary's name for manifest labelling ("bench" when the
+/// platform cannot tell us).
+inline std::string bench_tool_name() {
+#ifdef __GLIBC__
+  return std::string("bench:") + program_invocation_short_name;
+#else
+  return "bench";
+#endif
+}
+
+/// When $OWL_MANIFEST_DIR is set, writes a run manifest for a finished
+/// sweep to $OWL_MANIFEST_DIR/<tool>.json (':' in the tool label becomes
+/// '_' so the file name stays portable). No-op otherwise.
+inline void write_sweep_manifest(const std::vector<workloads::Workload>& ws,
+                                 const std::vector<core::PipelineResult>& results,
+                                 std::uint64_t seed, unsigned jobs) {
+  const char* dir = std::getenv("OWL_MANIFEST_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string tool = bench_tool_name();
+  core::ManifestKv options;
+  options.emplace_back("bench_scale", str_format("%.3f", scale_from_env()));
+  options.emplace_back("schedules", str_format("%u", schedules_from_env()));
+  options.emplace_back("seed", str_format("%llu",
+                                          (unsigned long long)seed));
+  core::ManifestKv environment;
+  environment.emplace_back("jobs", str_format("%u", jobs));
+  std::vector<core::ManifestTarget> targets;
+  for (const workloads::Workload& w : ws) {
+    const core::PipelineTarget t = w.target(seed);
+    core::ManifestTarget meta;
+    meta.name = t.name;
+    meta.seed = t.seed;
+    meta.detector = std::string(core::detector_kind_name(t.detector));
+    meta.schedules = schedules_from_env();
+    targets.push_back(std::move(meta));
+  }
+  std::string file = tool;
+  for (char& c : file) {
+    if (c == ':' || c == '/') c = '_';
+  }
+  const std::string path = std::string(dir) + "/" + file + ".json";
+  const std::string json =
+      core::render_manifest(tool, options, targets, results, environment);
+  if (!core::write_manifest(path, json)) {
+    std::fprintf(stderr, "bench: run manifest not written to %s\n",
+                 path.c_str());
+  }
+}
+
 inline ParallelSweep run_all_pipelines(
     const std::vector<workloads::Workload>& workloads, std::uint64_t seed = 1) {
   using clock = std::chrono::steady_clock;
@@ -126,6 +181,7 @@ inline ParallelSweep run_all_pipelines(
                    workloads[i].name.c_str(), sweep.jobs);
     }
   }
+  write_sweep_manifest(workloads, sweep.results, seed, sweep.jobs);
   return sweep;
 }
 

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for the CI bench stage.
+
+Compares a freshly generated Google Benchmark JSON file against the
+committed baseline in bench/baselines/ and fails when any benchmark's
+median real_time regressed by more than the threshold (default 25%):
+
+    check_bench.py fresh.json baseline.json [--threshold 0.25]
+
+Benchmarks present on only one side are reported but never fail the gate
+(benchmarks come and go across PRs); only a measured regression does.
+Set OWL_BENCH_SOFT=1 to report regressions without failing — the escape
+hatch for noisy shared runners (the GitHub matrix sets it; a quiet
+dedicated box can unset it for a hard gate).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Everything is normalized to nanoseconds before comparing.
+TIME_UNITS_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_medians(path):
+    """name -> median real_time in ns.
+
+    Prefers explicit "median" aggregates (--benchmark_repetitions runs);
+    falls back to the plain per-benchmark entries otherwise.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"check_bench.py: cannot read {path}: {err}")
+    medians = {}
+    plains = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("run_name", bench.get("name", ""))
+        if not name or "real_time" not in bench:
+            continue
+        ns = float(bench["real_time"]) * TIME_UNITS_NS.get(
+            bench.get("time_unit", "ns"), 1.0
+        )
+        if bench.get("aggregate_name") == "median":
+            medians[name] = ns
+        elif bench.get("run_type", "iteration") == "iteration":
+            plains[name] = ns
+    return medians if medians else plains
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail when fresh medians regress vs the baseline"
+    )
+    parser.add_argument("fresh")
+    parser.add_argument("baseline")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed relative real_time growth (default 0.25 = +25%%)",
+    )
+    args = parser.parse_args()
+
+    fresh = load_medians(args.fresh)
+    baseline = load_medians(args.baseline)
+    if not baseline:
+        sys.exit(f"check_bench.py: no benchmarks in baseline {args.baseline}")
+    if not fresh:
+        sys.exit(f"check_bench.py: no benchmarks in fresh run {args.fresh}")
+
+    soft = os.environ.get("OWL_BENCH_SOFT", "") == "1"
+    regressions = []
+    for name in sorted(baseline):
+        if name not in fresh:
+            print(f"check_bench.py: note: {name} missing from fresh run")
+            continue
+        base, now = baseline[name], fresh[name]
+        ratio = now / base if base > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, base, now, ratio))
+            flag = "  <-- REGRESSION"
+        print(
+            f"  {name}: baseline {base:.1f}ns, fresh {now:.1f}ns "
+            f"({ratio:+.1%} of baseline){flag}"
+        )
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"check_bench.py: note: {name} not in baseline (new benchmark)")
+
+    if regressions:
+        print(
+            f"check_bench.py: {len(regressions)} benchmark(s) regressed "
+            f"beyond +{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for name, base, now, ratio in regressions:
+            print(
+                f"  {name}: {base:.1f}ns -> {now:.1f}ns ({ratio:.2f}x)",
+                file=sys.stderr,
+            )
+        if soft:
+            print(
+                "check_bench.py: OWL_BENCH_SOFT=1, reporting only",
+                file=sys.stderr,
+            )
+            return 0
+        return 1
+    print("check_bench.py: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

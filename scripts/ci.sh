@@ -1,6 +1,20 @@
 #!/usr/bin/env bash
-# CI gate: configure, build, run the full test suite, then rebuild the unit
-# tests under ASan+UBSan and run them again. Any failure fails the script.
+# Staged CI gate. Usage:
+#
+#   scripts/ci.sh [stage ...]
+#
+# with stages:
+#   build         configure + compile the main tree (plus ci.yml lint)
+#   ctest         full test suite on the main tree
+#   asan          unit tests under ASan+UBSan (own tree: build-asan)
+#   tsan          concurrency tests under TSan (own tree: build-tsan)
+#   differential  jobs/impl/manifest differential gates on the examples
+#   bench         release bench tree + benchmark-regression gate
+#   all           every stage above, in that order (the default)
+#
+# Stages assume `build` ran first (the GitHub matrix gives each stage its
+# own job and runs `build` as its first step; locally `all` orders them).
+# Any failure fails the script and names the step that died.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,96 +23,228 @@ trap 'echo "ci.sh: FAILED during: ${current_step}" >&2' ERR
 
 jobs="$(nproc)"
 
-current_step="configure"
-cmake -B build -S .
+# ccache cuts the matrix's rebuild cost; configure with it only when the
+# host actually has it so a bare container still works.
+launcher_args=()
+if command -v ccache > /dev/null 2>&1; then
+  launcher_args=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
 
-current_step="build"
-cmake --build build -j"${jobs}"
+stage_build() {
+  current_step="configure"
+  cmake -B build -S . ${launcher_args[@]+"${launcher_args[@]}"}
 
-current_step="ctest"
-ctest --test-dir build --output-on-failure -j"${jobs}"
+  current_step="build"
+  cmake --build build -j"${jobs}"
+
+  # Workflow lint: actionlint when available, else a YAML parse via
+  # python3 — enough to catch a syntactically broken ci.yml in-repo.
+  current_step="lint .github/workflows/ci.yml"
+  if [ -f .github/workflows/ci.yml ]; then
+    if command -v actionlint > /dev/null 2>&1; then
+      actionlint .github/workflows/ci.yml
+    else
+      python3 -c "import yaml; yaml.safe_load(open('.github/workflows/ci.yml'))" \
+        || { echo "ci.sh: ci.yml failed YAML validation" >&2; exit 1; }
+    fi
+  fi
+}
+
+stage_ctest() {
+  current_step="ctest"
+  ctest --test-dir build --output-on-failure -j"${jobs}"
+}
 
 # Sanitizer pass: a separate tree so the regular build stays reusable.
-current_step="configure (ASan+UBSan)"
-cmake -B build-asan -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+stage_asan() {
+  current_step="configure (ASan+UBSan)"
+  cmake -B build-asan -S . ${launcher_args[@]+"${launcher_args[@]}"} \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 
-current_step="build owl_unit_tests (ASan+UBSan)"
-cmake --build build-asan -j"${jobs}" --target owl_unit_tests
+  current_step="build owl_unit_tests (ASan+UBSan)"
+  cmake --build build-asan -j"${jobs}" --target owl_unit_tests
 
-current_step="run owl_unit_tests (ASan+UBSan)"
-./build-asan/tests/owl_unit_tests
+  current_step="run owl_unit_tests (ASan+UBSan)"
+  ./build-asan/tests/owl_unit_tests
+}
 
 # ThreadSanitizer pass: a concurrency-attack detector must not ship its own
-# races. The TSan tree runs the thread-pool/log/stats unit tests and the
-# jobs=1-vs-jobs=4 pipeline equivalence tests with real worker threads.
-current_step="configure (TSan)"
-cmake -B build-tsan -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all -fno-omit-frame-pointer"
+# races. The TSan tree runs the thread-pool/log/stats/trace/metrics unit
+# tests and the jobs=1-vs-jobs=4 pipeline equivalence tests with real
+# worker threads.
+stage_tsan() {
+  current_step="configure (TSan)"
+  cmake -B build-tsan -S . ${launcher_args[@]+"${launcher_args[@]}"} \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all -fno-omit-frame-pointer"
 
-current_step="build test binaries (TSan)"
-cmake --build build-tsan -j"${jobs}" --target owl_unit_tests owl_integration_tests
+  current_step="build test binaries (TSan)"
+  cmake --build build-tsan -j"${jobs}" --target owl_unit_tests owl_integration_tests
 
-current_step="run thread_pool tests (TSan)"
-./build-tsan/tests/owl_unit_tests \
-  --gtest_filter='ThreadPoolTest.*:LogSinkTest.*:ConcurrentStatsTest.*:StageTimingsTest.*'
+  current_step="run thread_pool/observability tests (TSan)"
+  ./build-tsan/tests/owl_unit_tests \
+    --gtest_filter='ThreadPoolTest.*:LogSinkTest.*:ConcurrentStatsTest.*:StageTimingsTest.*:TraceCollectorTest.*:MetricsRegistryTest.*'
 
-current_step="run parallel_equivalence tests (TSan)"
-./build-tsan/tests/owl_integration_tests --gtest_filter='ParallelEquivalenceTest.*'
+  current_step="run parallel_equivalence tests (TSan)"
+  ./build-tsan/tests/owl_integration_tests --gtest_filter='ParallelEquivalenceTest.*'
+}
 
-# Differential gate on the shipped examples: parallel execution must be
-# byte-identical to sequential, and the per-stage timing summary must show
-# every stage ran (printed for the CI log; timing lines are excluded from
-# the diff because wall-clock varies run to run).
-current_step="jobs=1 vs jobs=4 differential (examples)"
-examples=(examples/ir/double_fetch.mir examples/ir/toctou.mir)
-./build/tools/owl_cli --jobs 1 --print-reports "${examples[@]}" > build/jobs1.out
-./build/tools/owl_cli --jobs 4 --print-reports "${examples[@]}" > build/jobs4.out
-diff -u build/jobs1.out build/jobs4.out \
-  || { echo "ci.sh: jobs=4 output diverged from jobs=1" >&2; exit 1; }
-
-current_step="per-stage timing summary"
-./build/tools/owl_cli --jobs 4 --timings --quiet "${examples[@]}"
-./build/tools/owl_cli --jobs 4 --timings --quiet "${examples[@]}" \
-  | grep -q "target-total" \
-  || { echo "ci.sh: timing summary missing target-total" >&2; exit 1; }
-
-# Detector differential gate: the fast substrate (paged shadow, epoch fast
-# paths, lazy capture) must emit byte-identical output to the reference
-# hash-map substrate on every example workload, sequentially and under the
-# jobs=4 fan-out, and under an injected detection fault (truncated events).
-current_step="detector differential gate (reference vs fast)"
-for j in 1 4; do
-  ./build/tools/owl_cli --jobs "$j" --print-reports \
-    --detector-impl reference "${examples[@]}" > "build/impl-ref-j$j.out"
-  ./build/tools/owl_cli --jobs "$j" --print-reports \
-    --detector-impl fast "${examples[@]}" > "build/impl-fast-j$j.out"
-  diff -u "build/impl-ref-j$j.out" "build/impl-fast-j$j.out" \
-    || { echo "ci.sh: fast detector diverged from reference (jobs=$j)" >&2
+stage_differential() {
+  # Differential gates on every shipped example: parallel execution must
+  # be byte-identical to sequential, for both detector implementations,
+  # on stdout AND on the run manifest (scripts/manifest_diff.py strips
+  # the non-diffable "environment" tail before comparing).
+  current_step="collect examples"
+  examples=(examples/ir/*.mir)
+  [ ${#examples[@]} -ge 2 ] \
+    || { echo "ci.sh: expected at least 2 examples, got ${#examples[@]}" >&2
          exit 1; }
+
+  current_step="jobs=1 vs jobs=4 differential (examples, both impls)"
+  for impl in fast reference; do
+    for j in 1 4; do
+      ./build/tools/owl_cli --jobs "$j" --print-reports \
+        --detector-impl "$impl" \
+        --manifest "build/manifest-$impl-j$j.json" \
+        --metrics-out "build/metrics-$impl-j$j.txt" \
+        "${examples[@]}" > "build/out-$impl-j$j.txt"
+    done
+    diff -u "build/out-$impl-j1.txt" "build/out-$impl-j4.txt" \
+      || { echo "ci.sh: jobs=4 output diverged from jobs=1 ($impl)" >&2
+           exit 1; }
+    python3 scripts/manifest_diff.py \
+      "build/manifest-$impl-j1.json" "build/manifest-$impl-j4.json" \
+      || { echo "ci.sh: jobs=4 manifest diverged from jobs=1 ($impl)" >&2
+           exit 1; }
+    cmp "build/metrics-$impl-j1.txt" "build/metrics-$impl-j4.txt" \
+      || { echo "ci.sh: jobs=4 metrics diverged from jobs=1 ($impl)" >&2
+           exit 1; }
+  done
+
+  # Detector differential: the fast substrate (paged shadow, epoch fast
+  # paths, lazy capture) must emit byte-identical reports to the
+  # reference hash-map substrate. Reports, not metrics: the two impls
+  # legitimately differ on substrate counters (that is their point).
+  current_step="detector differential gate (reference vs fast)"
+  for j in 1 4; do
+    diff -u "build/out-reference-j$j.txt" "build/out-fast-j$j.txt" \
+      || { echo "ci.sh: fast detector diverged from reference (jobs=$j)" >&2
+           exit 1; }
+  done
+  ./build/tools/owl_cli --jobs 1 --print-reports --seed 5 \
+    --inject-fault detect:truncate:2 \
+    --detector-impl reference "${examples[@]}" > build/impl-ref-fault.out
+  ./build/tools/owl_cli --jobs 1 --print-reports --seed 5 \
+    --inject-fault detect:truncate:2 \
+    --detector-impl fast "${examples[@]}" > build/impl-fast-fault.out
+  diff -u build/impl-ref-fault.out build/impl-fast-fault.out \
+    || { echo "ci.sh: fast detector diverged under injected fault" >&2
+         exit 1; }
+
+  # Repeat-run determinism: two identical invocations must produce
+  # byte-identical manifests (minus environment) and metric snapshots.
+  current_step="repeat-run manifest/metrics determinism"
+  for run in 1 2; do
+    ./build/tools/owl_cli --jobs 4 -q \
+      --manifest "build/manifest-repeat$run.json" \
+      --metrics-out "build/metrics-repeat$run.txt" \
+      "${examples[@]}" > /dev/null
+  done
+  python3 scripts/manifest_diff.py \
+    build/manifest-repeat1.json build/manifest-repeat2.json \
+    || { echo "ci.sh: repeat runs produced different manifests" >&2
+         exit 1; }
+  cmp build/metrics-repeat1.txt build/metrics-repeat2.txt \
+    || { echo "ci.sh: repeat runs produced different metrics" >&2; exit 1; }
+
+  # The emitted trace must be valid Chrome trace JSON covering every
+  # Fig. 3 stage (detection, annotation, race-verification,
+  # vuln-analysis, vuln-verification).
+  current_step="trace span coverage"
+  ./build/tools/owl_cli --jobs 1 -q --trace-out build/trace.json \
+    "${examples[@]}" > /dev/null
+  python3 - <<'EOF'
+import json
+trace = json.load(open("build/trace.json"))
+names = {e["name"] for e in trace["traceEvents"]}
+need = {"detection", "annotation", "race-verification", "vuln-analysis",
+        "vuln-verification", "target"}
+missing = need - names
+if missing:
+    raise SystemExit(f"ci.sh: trace missing spans: {sorted(missing)}")
+EOF
+
+  current_step="per-stage timing summary"
+  ./build/tools/owl_cli --jobs 4 --timings --quiet "${examples[@]}" \
+    | grep -q "target-total" \
+    || { echo "ci.sh: timing summary missing target-total" >&2; exit 1; }
+}
+
+stage_bench() {
+  # Release (-O2) build of the bench tree: the optimized code paths the
+  # perf numbers come from must compile warning-clean (-Werror).
+  # -Wno-restrict: GCC 12's -Wrestrict fires a known false positive inside
+  # libstdc++'s inlined std::string operator+ at -O2 (GCC bug 105651).
+  current_step="configure (Release bench tree)"
+  cmake -B build-release -S . ${launcher_args[@]+"${launcher_args[@]}"} \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS="-O2 -Werror -Wno-restrict"
+
+  current_step="build bench tree (Release, warning-clean)"
+  cmake --build build-release -j"${jobs}" --target micro_perf
+
+  # Regression gate: fresh medians vs the committed baselines. The
+  # threshold lives in scripts/check_bench.py (25%); OWL_BENCH_SOFT=1
+  # downgrades a regression to a report (shared-runner escape hatch).
+  current_step="record fresh detector benchmarks"
+  ./build-release/bench/micro_perf \
+    --benchmark_filter='Detector|ShadowLookup|VectorClockJoin' \
+    --benchmark_repetitions=3 \
+    --benchmark_out=build-release/BENCH_detector.json \
+    --benchmark_out_format=json > /dev/null
+
+  current_step="record fresh parallel benchmarks"
+  ./build-release/bench/micro_perf --benchmark_filter='Parallel|RunMany' \
+    --benchmark_out=build-release/BENCH_parallel.json \
+    --benchmark_out_format=json > /dev/null
+
+  current_step="benchmark regression gate (detector)"
+  python3 scripts/check_bench.py \
+    build-release/BENCH_detector.json bench/baselines/BENCH_detector.json
+
+  current_step="benchmark regression gate (parallel)"
+  python3 scripts/check_bench.py \
+    build-release/BENCH_parallel.json bench/baselines/BENCH_parallel.json
+}
+
+stages=("$@")
+if [ ${#stages[@]} -eq 0 ]; then
+  stages=(all)
+fi
+
+for stage in "${stages[@]}"; do
+  case "$stage" in
+    build)        stage_build ;;
+    ctest)        stage_ctest ;;
+    asan)         stage_asan ;;
+    tsan)         stage_tsan ;;
+    differential) stage_differential ;;
+    bench)        stage_bench ;;
+    all)
+      stage_build
+      stage_ctest
+      stage_asan
+      stage_tsan
+      stage_differential
+      stage_bench
+      ;;
+    *)
+      echo "ci.sh: unknown stage '$stage'" >&2
+      echo "usage: scripts/ci.sh [build|ctest|asan|tsan|differential|bench|all]" >&2
+      exit 1
+      ;;
+  esac
 done
-./build/tools/owl_cli --jobs 1 --print-reports --seed 5 \
-  --inject-fault detect:truncate:2 \
-  --detector-impl reference "${examples[@]}" > build/impl-ref-fault.out
-./build/tools/owl_cli --jobs 1 --print-reports --seed 5 \
-  --inject-fault detect:truncate:2 \
-  --detector-impl fast "${examples[@]}" > build/impl-fast-fault.out
-diff -u build/impl-ref-fault.out build/impl-fast-fault.out \
-  || { echo "ci.sh: fast detector diverged under injected fault" >&2
-       exit 1; }
 
-# Release (-O2) build of the bench tree: the optimized code paths the
-# perf numbers come from must compile warning-clean (-Werror).
-# -Wno-restrict: GCC 12's -Wrestrict fires a known false positive inside
-# libstdc++'s inlined std::string operator+ at -O2 (GCC bug 105651).
-current_step="configure (Release bench tree)"
-cmake -B build-release -S . \
-  -DCMAKE_BUILD_TYPE=Release \
-  -DCMAKE_CXX_FLAGS="-O2 -Werror -Wno-restrict"
-
-current_step="build bench tree (Release, warning-clean)"
-cmake --build build-release -j"${jobs}" --target micro_perf
-
-echo "ci.sh: all gates passed"
+echo "ci.sh: all requested stages passed: ${stages[*]}"

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Diff two OWL run manifests on their deterministic body.
+
+A manifest (core/manifest.hpp) splits into a diffable body — schema, tool,
+options, per-target StageCounts, behavioral metrics — and a non-diffable
+"environment" tail (jobs, wall clock, host facts). This tool strips the
+tail from both sides, canonicalizes the rest, and diffs:
+
+    manifest_diff.py A.json B.json            # exit 0 iff bodies match
+    manifest_diff.py --ignore-tool A B        # also ignore the tool label
+
+Used by scripts/ci.sh's differential stage to prove jobs=1 vs jobs=4 and
+repeat runs produce byte-identical behavior.
+"""
+
+import argparse
+import difflib
+import json
+import sys
+
+
+def load_body(path, ignore_tool=False):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            manifest = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"manifest_diff.py: cannot read {path}: {err}")
+    if not isinstance(manifest, dict):
+        sys.exit(f"manifest_diff.py: {path}: not a JSON object")
+    manifest.pop("environment", None)
+    if ignore_tool:
+        manifest.pop("tool", None)
+    return json.dumps(manifest, indent=1, sort_keys=True).splitlines(
+        keepends=True
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two run manifests, ignoring the environment tail"
+    )
+    parser.add_argument("a")
+    parser.add_argument("b")
+    parser.add_argument(
+        "--ignore-tool",
+        action="store_true",
+        help="also ignore the tool label (cross-entry-point comparison)",
+    )
+    args = parser.parse_args()
+
+    body_a = load_body(args.a, args.ignore_tool)
+    body_b = load_body(args.b, args.ignore_tool)
+    if body_a == body_b:
+        return 0
+    sys.stdout.writelines(
+        difflib.unified_diff(body_a, body_b, fromfile=args.a, tofile=args.b)
+    )
+    print(f"manifest_diff.py: {args.a} and {args.b} differ", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,11 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" 2>&1 | tee test_output.t
 
 current_step="benchmarks"
 : > bench_output.txt
+# Each bench sweep drops a run manifest (inputs, options, seeds,
+# StageCounts, metrics — DESIGN.md §8) under bench_manifests/ so the
+# recorded tables can be cross-checked after the fact.
+export OWL_MANIFEST_DIR="$PWD/bench_manifests"
+mkdir -p "$OWL_MANIFEST_DIR"
 for b in build/bench/*; do
   [ -x "$b" ] || continue
   current_step="benchmark $(basename "$b")"
@@ -50,5 +55,6 @@ current_step="record BENCH_detector.json"
 echo
 echo "Reproduction complete. See EXPERIMENTS.md for the paper-vs-measured"
 echo "record; bench_output.txt holds this run's tables and figures,"
-echo "BENCH_parallel.json the --jobs scaling numbers for this host, and"
-echo "BENCH_detector.json the fast-vs-reference detector substrate numbers."
+echo "BENCH_parallel.json the --jobs scaling numbers for this host,"
+echo "BENCH_detector.json the fast-vs-reference detector substrate numbers,"
+echo "and bench_manifests/ the per-sweep run manifests (DESIGN.md §8)."

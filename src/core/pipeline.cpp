@@ -2,9 +2,12 @@
 
 #include <chrono>
 
+#include "core/manifest.hpp"
 #include "race/atomicity_detector.hpp"
 #include "support/log.hpp"
+#include "support/metrics.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 #include "sync/annotator.hpp"
 #include "vuln/hint.hpp"
 
@@ -28,6 +31,10 @@ void record_failure(StageCounts& counts, PipelineStage stage,
   record.wall_seconds = wall_seconds;
   record.retries = retries;
   OWL_LOG(kWarn) << "pipeline stage degraded: " << record.to_string();
+  support::metrics()
+      .counter("pipeline.failures." +
+               std::string(support::pipeline_stage_name(stage)))
+      .inc();
   counts.failures.push_back(std::move(record));
 }
 
@@ -100,6 +107,8 @@ std::vector<race::RaceReport> Pipeline::detect_once(
                      budget.steps_spent(), budget.elapsed_seconds());
       break;
     }
+    TRACE_SPAN("detect-schedule", target.name);
+    support::metrics().counter("pipeline.detection_schedules").inc();
     std::unique_ptr<interp::Machine> machine = target.factory();
     machine->set_fault_injector(injector);
     if (target.detector == DetectorKind::kAtomicity) {
@@ -176,6 +185,8 @@ std::optional<std::vector<race::RaceReport>> Pipeline::detect(
 
 PipelineResult Pipeline::run(const PipelineTarget& target) const {
   const auto t0 = std::chrono::steady_clock::now();
+  TRACE_SPAN("target", target.name);
+  support::metrics().counter("pipeline.targets").inc();
   PipelineResult result;
   result.target_name = target.name;
   FaultInjector* injector = options_.fault_injector;
@@ -185,6 +196,7 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
   // ---- step (1): raw detection ----
   std::vector<race::RaceReport> raw;
   {
+    TRACE_SPAN("detection", target.name);
     const StageTimer timer(options_.stage_timings, "detection");
     raw = detect(target, nullptr, result.counts)
               .value_or(std::vector<race::RaceReport>{});
@@ -196,38 +208,40 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
   if (injector != nullptr) injector->begin_stage(PipelineStage::kAnnotation);
   std::vector<race::RaceReport> reduced;
   result.store.set_stage(Stage::kRawDetection, raw);
-  StageTimer annotation_timer(options_.stage_timings, "annotation");
-  if (options_.preset_annotations != nullptr) {
-    result.counts.adhoc_syncs = options_.preset_annotations->pair_count();
-    if (options_.preset_annotations->empty()) {
-      reduced = std::move(raw);
-    } else {
-      reduced = detect(target, options_.preset_annotations, result.counts)
-                    .value_or(raw);  // degraded re-run: keep raw reports
-    }
-  } else if (options_.enable_adhoc_annotation) {
-    std::optional<sync::AnnotationOutcome> outcome;
-    try {
-      if (injector != nullptr) injector->maybe_throw();
-      outcome = sync::annotate_adhoc_syncs(*target.module, raw);
-    } catch (const std::exception& error) {
-      record_failure(result.counts, PipelineStage::kAnnotation,
-                     FailureCause::kException, error.what());
-    }
-    if (outcome.has_value() && !outcome->annotations.empty()) {
-      result.counts.adhoc_syncs = outcome->unique_adhoc_syncs;
-      reduced = detect(target, &outcome->annotations, result.counts)
-                    .value_or(raw);  // degraded re-run: keep raw reports
-    } else {
-      if (outcome.has_value()) {
-        result.counts.adhoc_syncs = outcome->unique_adhoc_syncs;
+  {
+    TRACE_SPAN("annotation", target.name);
+    const StageTimer annotation_timer(options_.stage_timings, "annotation");
+    if (options_.preset_annotations != nullptr) {
+      result.counts.adhoc_syncs = options_.preset_annotations->pair_count();
+      if (options_.preset_annotations->empty()) {
+        reduced = std::move(raw);
+      } else {
+        reduced = detect(target, options_.preset_annotations, result.counts)
+                      .value_or(raw);  // degraded re-run: keep raw reports
       }
+    } else if (options_.enable_adhoc_annotation) {
+      std::optional<sync::AnnotationOutcome> outcome;
+      try {
+        if (injector != nullptr) injector->maybe_throw();
+        outcome = sync::annotate_adhoc_syncs(*target.module, raw);
+      } catch (const std::exception& error) {
+        record_failure(result.counts, PipelineStage::kAnnotation,
+                       FailureCause::kException, error.what());
+      }
+      if (outcome.has_value() && !outcome->annotations.empty()) {
+        result.counts.adhoc_syncs = outcome->unique_adhoc_syncs;
+        reduced = detect(target, &outcome->annotations, result.counts)
+                      .value_or(raw);  // degraded re-run: keep raw reports
+      } else {
+        if (outcome.has_value()) {
+          result.counts.adhoc_syncs = outcome->unique_adhoc_syncs;
+        }
+        reduced = std::move(raw);
+      }
+    } else {
       reduced = std::move(raw);
     }
-  } else {
-    reduced = std::move(raw);
   }
-  annotation_timer.stop();
   result.counts.after_annotation = reduced.size();
   result.store.set_stage(Stage::kAfterAnnotation, reduced);
   OWL_LOG(kInfo) << target.name << ": " << reduced.size()
@@ -237,6 +251,7 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
   // ---- step (3): dynamic race verification ----
   std::vector<race::RaceReport> survivors;
   if (options_.enable_race_verifier) {
+    TRACE_SPAN("race-verification", target.name);
     const StageTimer timer(options_.stage_timings, "race-verification");
     if (injector != nullptr) {
       injector->begin_stage(PipelineStage::kRaceVerification);
@@ -343,64 +358,67 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
                  << " verified races remain";
 
   // ---- step (4): static vulnerability analysis (Algorithm 1) ----
-  StageTimer analysis_timer(options_.stage_timings, "vuln-analysis");
-  if (injector != nullptr) {
-    injector->begin_stage(PipelineStage::kVulnAnalysis);
-  }
-  vuln::VulnerabilityAnalyzer::Options aopts;
-  aopts.mode = options_.analyzer_mode;
-  const vuln::VulnerabilityAnalyzer analyzer(*target.module, aopts);
-  support::Budget analysis_budget(options_.stage_budgets.vuln_analysis);
-  double analysis_seconds = 0.0;
   struct PendingAttack {
     std::size_t report_index;
     vuln::ExploitReport exploit;
   };
   std::vector<PendingAttack> pending;
-  std::size_t analysis_failures = 0;
-  std::string analysis_error;
   const std::vector<race::RaceReport>& final_reports =
       result.store.stage(Stage::kAfterRaceVerifier);
-  for (std::size_t r = 0; r < final_reports.size(); ++r) {
-    if (const auto cause = analysis_budget.exhausted_by()) {
-      record_failure(result.counts, PipelineStage::kVulnAnalysis, *cause,
-                     str_format("%zu of %zu reports unanalyzed",
-                                final_reports.size() - r,
-                                final_reports.size()),
-                     analysis_budget.steps_spent(),
-                     analysis_budget.elapsed_seconds());
-      break;
+  {
+    TRACE_SPAN("vuln-analysis", target.name);
+    const StageTimer analysis_timer(options_.stage_timings, "vuln-analysis");
+    if (injector != nullptr) {
+      injector->begin_stage(PipelineStage::kVulnAnalysis);
     }
-    try {
-      if (injector != nullptr) injector->maybe_throw();
-      const vuln::VulnAnalysis analysis = analyzer.analyze(final_reports[r]);
-      analysis_seconds += analysis.stats.seconds;
-      for (const vuln::ExploitReport& exploit : analysis.exploits) {
-        result.exploits.push_back(exploit);
-        pending.push_back({r, exploit});
+    vuln::VulnerabilityAnalyzer::Options aopts;
+    aopts.mode = options_.analyzer_mode;
+    const vuln::VulnerabilityAnalyzer analyzer(*target.module, aopts);
+    support::Budget analysis_budget(options_.stage_budgets.vuln_analysis);
+    double analysis_seconds = 0.0;
+    std::size_t analysis_failures = 0;
+    std::string analysis_error;
+    for (std::size_t r = 0; r < final_reports.size(); ++r) {
+      if (const auto cause = analysis_budget.exhausted_by()) {
+        record_failure(result.counts, PipelineStage::kVulnAnalysis, *cause,
+                       str_format("%zu of %zu reports unanalyzed",
+                                  final_reports.size() - r,
+                                  final_reports.size()),
+                       analysis_budget.steps_spent(),
+                       analysis_budget.elapsed_seconds());
+        break;
       }
-    } catch (const std::exception& error) {
-      ++analysis_failures;
-      analysis_error = error.what();
+      try {
+        if (injector != nullptr) injector->maybe_throw();
+        const vuln::VulnAnalysis analysis = analyzer.analyze(final_reports[r]);
+        analysis_seconds += analysis.stats.seconds;
+        for (const vuln::ExploitReport& exploit : analysis.exploits) {
+          result.exploits.push_back(exploit);
+          pending.push_back({r, exploit});
+        }
+      } catch (const std::exception& error) {
+        ++analysis_failures;
+        analysis_error = error.what();
+      }
     }
+    if (analysis_failures > 0) {
+      record_failure(result.counts, PipelineStage::kVulnAnalysis,
+                     FailureCause::kException,
+                     str_format("%zu report(s) unanalyzable: %s",
+                                analysis_failures, analysis_error.c_str()));
+    }
+    result.counts.vulnerability_reports = result.exploits.size();
+    result.counts.avg_analysis_seconds =
+        final_reports.empty()
+            ? 0.0
+            : analysis_seconds / static_cast<double>(final_reports.size());
+    OWL_LOG(kInfo) << target.name << ": " << result.exploits.size()
+                   << " vulnerability reports";
   }
-  if (analysis_failures > 0) {
-    record_failure(result.counts, PipelineStage::kVulnAnalysis,
-                   FailureCause::kException,
-                   str_format("%zu report(s) unanalyzable: %s",
-                              analysis_failures, analysis_error.c_str()));
-  }
-  result.counts.vulnerability_reports = result.exploits.size();
-  result.counts.avg_analysis_seconds =
-      final_reports.empty()
-          ? 0.0
-          : analysis_seconds / static_cast<double>(final_reports.size());
-  OWL_LOG(kInfo) << target.name << ": " << result.exploits.size()
-                 << " vulnerability reports";
-  analysis_timer.stop();
 
   // ---- step (5): dynamic vulnerability verification ----
   if (options_.enable_vuln_verifier) {
+    TRACE_SPAN("vuln-verification", target.name);
     const StageTimer timer(options_.stage_timings, "vuln-verification");
     if (injector != nullptr) {
       injector->begin_stage(PipelineStage::kVulnVerification);
@@ -490,6 +508,31 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
   if (options_.stage_timings != nullptr) {
     options_.stage_timings->record("target-total", result.total_seconds);
   }
+
+  // Behavioral rollup into the global registry — the Table 2/3 column
+  // cross-check the manifest snapshot carries. All counters: sums are
+  // interleaving-independent, so jobs=N flushes identically to jobs=1.
+  {
+    support::MetricsRegistry& registry = support::metrics();
+    registry.counter("pipeline.reports.raw").inc(result.counts.raw_reports);
+    registry.counter("pipeline.adhoc_syncs").inc(result.counts.adhoc_syncs);
+    registry.counter("pipeline.reports.after_annotation")
+        .inc(result.counts.after_annotation);
+    registry.counter("pipeline.reports.verifier_eliminated")
+        .inc(result.counts.verifier_eliminated);
+    registry.counter("pipeline.reports.verified")
+        .inc(result.counts.remaining);
+    registry.counter("pipeline.vulnerability_reports")
+        .inc(result.counts.vulnerability_reports);
+    registry.counter("pipeline.attacks.site_reached")
+        .inc(result.attacks.size());
+    registry.counter("pipeline.attacks.confirmed")
+        .inc(result.confirmed_attacks());
+    registry.counter("pipeline.retries").inc(result.counts.retries_used);
+    registry.histogram("pipeline.raw_reports_per_target")
+        .observe(result.counts.raw_reports);
+    registry.wall_clock("pipeline.wall_seconds").add(result.total_seconds);
+  }
   return result;
 }
 
@@ -539,6 +582,17 @@ std::vector<PipelineResult> Pipeline::run_many(
   if (options_.fault_injector != nullptr) {
     for (const auto& fork : forks) {
       if (fork != nullptr) options_.fault_injector->absorb(*fork);
+    }
+  }
+
+  if (!options_.manifest_path.empty()) {
+    const std::string json =
+        render_manifest(options_.manifest_tool, options_, targets, results);
+    if (!write_manifest(options_.manifest_path, json)) {
+      // An unwritable manifest must not degrade the results themselves —
+      // it is observability, not behavior. Loud log, nothing else.
+      OWL_LOG(kWarn) << "run manifest not written to "
+                     << options_.manifest_path;
     }
   }
   return results;

@@ -123,6 +123,14 @@ struct PipelineOptions {
   /// Concurrent-safe per-stage wall-clock aggregation (not owned; may be
   /// null). Workers from every target record into the same instance.
   StageTimings* stage_timings = nullptr;
+
+  // --- observability ---
+  /// When non-empty, run_many writes a run manifest (core/manifest.hpp:
+  /// inputs, options, seeds, StageCounts, metrics snapshot) here after the
+  /// sweep; a write failure degrades the driver, not the results.
+  std::string manifest_path;
+  /// Tool label recorded in the manifest ("owl_cli", "bench:table2", ...).
+  std::string manifest_tool = "pipeline";
 };
 
 struct PipelineResult {

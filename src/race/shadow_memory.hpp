@@ -118,7 +118,10 @@ class PagedShadow {
     const std::uint64_t page = addr >> kPageBits;
     std::unique_ptr<Page>& p =
         page < kDirectPages ? direct_slot(page) : overflow_[page];
-    if (p == nullptr) p = std::make_unique<Page>();
+    if (p == nullptr) {
+      p = std::make_unique<Page>();
+      ++pages_allocated_;
+    }
     return p->slots[addr & kSlotMask];
   }
 
@@ -163,7 +166,13 @@ class PagedShadow {
     for (const auto& [page, p] : overflow_) visit_page(page, *p);
   }
 
-  /// Drops every page (shadow returns to the never-touched state).
+  /// Cumulative first-touch page allocations over this shadow's lifetime —
+  /// unlike page_count() it survives clear(), so it feeds the metrics
+  /// registry (DESIGN.md §8) as a monotone counter.
+  std::uint64_t pages_allocated() const noexcept { return pages_allocated_; }
+
+  /// Drops every page (shadow returns to the never-touched state). Does not
+  /// reset pages_allocated(): that counter is cumulative by design.
   void clear() noexcept {
     direct_.clear();
     overflow_.clear();
@@ -181,6 +190,7 @@ class PagedShadow {
 
   std::vector<std::unique_ptr<Page>> direct_;
   std::map<std::uint64_t, std::unique_ptr<Page>> overflow_;
+  std::uint64_t pages_allocated_ = 0;
 };
 
 }  // namespace owl::race

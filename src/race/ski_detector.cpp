@@ -1,5 +1,8 @@
 #include "race/ski_detector.hpp"
 
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
 namespace owl::race {
 
 ScheduleExplorationResult explore_schedules(const MachineFactory& factory,
@@ -10,6 +13,8 @@ ScheduleExplorationResult explore_schedules(const MachineFactory& factory,
                                             DetectorImpl impl) {
   ScheduleExplorationResult result;
   for (unsigned i = 0; i < num_schedules; ++i) {
+    TRACE_SPAN("detect-schedule", "ski");
+    support::metrics().counter("detector.schedules_explored").inc();
     std::unique_ptr<interp::Machine> machine = factory();
     SkiDetector detector(annotations, impl);
     machine->add_observer(&detector);

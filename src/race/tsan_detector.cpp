@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cassert>
 
+#include "support/metrics.hpp"
+
 namespace owl::race {
 
 void TsanDetector::on_access(const Access& access,
                              const interp::Machine& machine) {
+  ++counters_.accesses;
   if (impl_ == DetectorImpl::kFast) {
     fast_on_access(access, machine);
   } else {
@@ -15,6 +18,7 @@ void TsanDetector::on_access(const Access& access,
 }
 
 void TsanDetector::on_sync(const Sync& sync, const interp::Machine& machine) {
+  ++counters_.sync_events;
   if (impl_ == DetectorImpl::kFast) {
     fast_on_sync(sync, machine);
   } else {
@@ -75,6 +79,7 @@ void TsanDetector::ref_on_access(const Access& access,
   }
 
   const AccessRecord rec = make_record(access, machine);
+  ++counters_.clock_fallbacks;  // the reference substrate has no fast paths
 
   if (access.is_write) {
     if (shadow.write.has_value() && shadow.write->tid != access.tid &&
@@ -174,6 +179,7 @@ AccessRecord TsanDetector::record_from_access(
   // The context id was stamped while the accessing frame was still at
   // access.instr, so this reproduces Thread::call_stack() exactly.
   rec.stack = machine.contexts().call_stack(access.context, access.instr);
+  ++counters_.lazy_materializations;
   return rec;
 }
 
@@ -189,6 +195,7 @@ AccessRecord TsanDetector::record_from_cell(
   // Context ids outlive frames, so this is the stack as of the recorded
   // access — not the thread's current one.
   rec.stack = machine.contexts().call_stack(cell.ctx, cell.instr);
+  ++counters_.lazy_materializations;
   return rec;
 }
 
@@ -239,10 +246,12 @@ void TsanDetector::fast_on_access(const Access& access,
     // the reference path would erase this address from it.
     if (slot.has_write && slot.write.tid == access.tid && !slot.has_reads() &&
         (!ski_watch_mode_ || watched_.empty())) {
+      ++counters_.epoch_write_hits;
       slot.write = ShadowCell{access.tid, access.context, own_epoch,
                               access.instr, access.value};
       return;
     }
+    ++counters_.clock_fallbacks;
 
     std::optional<AccessRecord> current;  // materialized at most once
     if (slot.has_write && slot.write.tid != access.tid &&
@@ -277,10 +286,12 @@ void TsanDetector::fast_on_access(const Access& access,
     // reference path would feed this read to watchers.
     ShadowCell* own = slot.find_read(access.tid);
     if (own != nullptr && own->no_race && watched_.empty()) {
+      ++counters_.epoch_read_hits;
       *own = ShadowCell{access.tid, access.context, own_epoch, access.instr,
                         access.value, /*no_race=*/true};
       return;
     }
+    ++counters_.clock_fallbacks;
 
     bool raced = false;
     if (slot.has_write && slot.write.tid != access.tid &&
@@ -407,7 +418,24 @@ void TsanDetector::feed_watchers(const AccessRecord& read) {
   }
 }
 
+void TsanDetector::flush_metrics() {
+  support::MetricsRegistry& registry = support::metrics();
+  registry.counter("detector.accesses").inc(counters_.accesses);
+  registry.counter("detector.sync_events").inc(counters_.sync_events);
+  registry.counter("detector.epoch_write_hits")
+      .inc(counters_.epoch_write_hits);
+  registry.counter("detector.epoch_read_hits").inc(counters_.epoch_read_hits);
+  registry.counter("detector.clock_fallbacks").inc(counters_.clock_fallbacks);
+  registry.counter("detector.lazy_materializations")
+      .inc(counters_.lazy_materializations);
+  registry.counter("detector.reports_emitted").inc(reports_.size());
+  registry.counter("detector.shadow_pages")
+      .inc(fast_shadow_.pages_allocated());
+  counters_ = SubstrateCounters{};  // flush-once: take_reports may re-run
+}
+
 std::vector<RaceReport> TsanDetector::take_reports() {
+  flush_metrics();
   // Keys are unique in reports_ (record_race deduplicates on insert), so a
   // plain sort is deterministic.
   std::sort(reports_.begin(), reports_.end(), report_order);

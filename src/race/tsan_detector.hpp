@@ -77,12 +77,30 @@ class TsanDetector : public interp::Observer {
 
   DetectorImpl impl() const noexcept { return impl_; }
 
-  /// Deduplicated reports in stable (key) order.
+  /// Deduplicated reports in stable (key) order. Also flushes this run's
+  /// SubstrateCounters into the global MetricsRegistry (one atomic add per
+  /// counter, so the hot path itself stays metric-free).
   std::vector<RaceReport> take_reports();
   const std::vector<RaceReport>& reports() const noexcept { return reports_; }
 
   /// Total dynamic race manifestations (>= reports().size()).
   std::uint64_t dynamic_race_count() const noexcept { return dynamic_races_; }
+
+  /// Per-run substrate accounting (DESIGN.md §8): plain locals bumped on
+  /// the hot path, flushed to the metrics registry by take_reports(). All
+  /// values are schedule-deterministic — they depend on the event stream
+  /// only, never on wall clock or worker interleaving.
+  struct SubstrateCounters {
+    std::uint64_t accesses = 0;         ///< on_access events seen
+    std::uint64_t sync_events = 0;      ///< on_sync events seen
+    std::uint64_t epoch_write_hits = 0; ///< same-owner store fast path taken
+    std::uint64_t epoch_read_hits = 0;  ///< no_race repeated-read fast path
+    std::uint64_t clock_fallbacks = 0;  ///< full vector-clock slow paths
+    std::uint64_t lazy_materializations = 0;  ///< AccessRecords rebuilt
+  };
+  const SubstrateCounters& substrate_counters() const noexcept {
+    return counters_;
+  }
 
  private:
   struct ShadowAccess {
@@ -122,6 +140,7 @@ class TsanDetector : public interp::Observer {
   void record_race(const AccessRecord& prior, const AccessRecord& current,
                    const interp::Machine& machine);
   void feed_watchers(const AccessRecord& read);
+  void flush_metrics();
 
   const AnnotationSet* annotations_;
   bool ski_watch_mode_;
@@ -152,6 +171,8 @@ class TsanDetector : public interp::Observer {
   /// Addresses whose reports still await a supplemental read / SKI logging.
   std::unordered_map<interp::Address, std::vector<std::size_t>> watched_;
   std::uint64_t dynamic_races_ = 0;
+  // mutable: the lazy-capture record builders are const member functions.
+  mutable SubstrateCounters counters_;
 };
 
 /// Merges `from` into `into`, collapsing identical static pairs (summing

@@ -1,0 +1,162 @@
+// Process-wide metrics registry for the pipeline (DESIGN.md §8).
+//
+// Named counters, gauges, and histograms record *behavioral* facts —
+// detector fast-path hits vs. vector-clock fallbacks, shadow-page
+// allocations, retries, livelock releases, reports pruned per stage — and a
+// separate wall-clock kind records durations. serialize() renders only the
+// behavioral kinds, sorted by name, so two runs with identical behavior
+// produce byte-identical snapshots no matter how long they took or how many
+// workers they ran on; CI diffs the snapshots directly.
+//
+// Values are atomics: hot paths keep local (non-atomic) tallies and flush
+// once per run, so concurrent flushes from parallel pipeline workers sum to
+// the same totals in any interleaving.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace owl::support {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-writer-wins signed level (also supports add()).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t v) noexcept {
+    value_.fetch_add(v, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Power-of-two-bucketed distribution of unsigned integer samples. Bucket k
+/// holds samples whose bit width is k (0 lands in bucket 0, 1 in bucket 1,
+/// 2–3 in bucket 2, 4–7 in bucket 3, ...): integer-exact, so the rendered
+/// histogram is deterministic for a fixed sample multiset.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void observe(std::uint64_t sample) noexcept {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+    buckets_[bucket_of(sample)].fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(std::size_t index) const noexcept {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+  static std::size_t bucket_of(std::uint64_t sample) noexcept {
+    std::size_t width = 0;
+    while (sample != 0) {
+      ++width;
+      sample >>= 1;
+    }
+    return width;
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Accumulated wall-clock seconds. Excluded from serialize()/behavioral
+/// JSON by construction — wall clock varies run to run even when behavior
+/// is identical — and surfaced separately (manifest "environment").
+class WallClock {
+ public:
+  void add(double seconds) noexcept;
+  double seconds() const noexcept;
+  void reset() noexcept { nanos_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> nanos_{0};  ///< integral ns: atomic + exact sum
+};
+
+/// Name → metric registry. Accessors register on first use and return
+/// stable references (entries are never removed by reset()). A name is
+/// bound to one kind for the registry's lifetime; re-requesting it with a
+/// different kind throws std::logic_error (programmer error).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+  WallClock& wall_clock(std::string_view name);
+
+  /// Deterministic behavioral snapshot: one line per counter/gauge/
+  /// histogram, sorted by name; wall-clock metrics excluded.
+  std::string serialize() const;
+
+  /// Behavioral snapshot as a JSON object (same exclusions as serialize()).
+  std::string json() const;
+
+  /// Wall-clock metrics as a JSON object (the non-diffable complement).
+  std::string wall_json() const;
+
+  /// Zeroes every value; registrations (names, kinds) are kept so a
+  /// reset-run-serialize sequence is reproducible.
+  void reset();
+
+  /// Drops every registration. Tests only: references returned earlier
+  /// dangle after this.
+  void clear_for_test();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kWallClock };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<WallClock> wall;
+  };
+
+  Entry& entry(std::string_view name, Kind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// Shorthand for MetricsRegistry::global() in instrumentation sites.
+inline MetricsRegistry& metrics() { return MetricsRegistry::global(); }
+
+}  // namespace owl::support

@@ -36,4 +36,8 @@ std::string with_commas(std::uint64_t value);
 /// True if `name` is a valid IR identifier: [A-Za-z_.$][A-Za-z0-9_.$]*.
 bool is_identifier(std::string_view name) noexcept;
 
+/// Renders `text` as a double-quoted JSON string literal (escapes quotes,
+/// backslashes, and control characters).
+std::string json_quote(std::string_view text);
+
 }  // namespace owl

@@ -5,7 +5,9 @@
 #include "interp/debugger.hpp"
 #include "race/atomicity_detector.hpp"
 #include "ir/printer.hpp"
+#include "support/metrics.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace owl::verify {
 namespace {
@@ -32,6 +34,7 @@ RaceVerifyResult RaceVerifier::explore(
     race::RaceReport& report,
     const std::function<AttemptOutcome(unsigned, support::Budget&)>& attempt)
     const {
+  TRACE_SPAN("race-verify-report", "explore");
   RaceVerifyResult result;
   bool any_livelock = false;
   // Folds one attempt's outcome into the result; returns true when the
@@ -82,6 +85,19 @@ RaceVerifyResult RaceVerifier::explore(
     }
   }
   result.livelocked = any_livelock && !result.verified;
+  // Metrics flush from the *folded* result, never from raw attempt
+  // executions: the pool-sharded path runs every attempt but folds in
+  // attempt order, so these sums stay byte-identical across jobs values.
+  support::MetricsRegistry& registry = support::metrics();
+  registry.counter("race_verifier.reports").inc();
+  registry.counter("race_verifier.attempts").inc(result.attempts);
+  registry.counter("race_verifier.livelock_releases")
+      .inc(result.livelock_releases);
+  if (result.verified) registry.counter("race_verifier.verified").inc();
+  if (result.livelocked) registry.counter("race_verifier.livelocked").inc();
+  if (result.budget_exhausted) {
+    registry.counter("race_verifier.budget_exhausted").inc();
+  }
   return result;
 }
 

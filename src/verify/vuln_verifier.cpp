@@ -5,6 +5,8 @@
 
 #include "interp/debugger.hpp"
 #include "ir/cfg.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace owl::verify {
 namespace {
@@ -47,8 +49,10 @@ enum class Steering { kWriteFirst, kReadFirst, kFree };
 VulnVerifyResult VulnVerifier::verify(const vuln::ExploitReport& exploit,
                                       const race::MachineFactory& factory,
                                       const race::RaceReport* race) const {
+  TRACE_SPAN("vuln-verify-session", "exploit");
   VulnVerifyResult result;
   if (exploit.site == nullptr) return result;
+  support::metrics().counter("vuln_verifier.sessions").inc();
 
   // Precompute the site-reaching direction of every hint branch.
   std::unordered_map<const ir::Instruction*,
@@ -228,6 +232,20 @@ VulnVerifyResult VulnVerifier::verify(const vuln::ExploitReport& exploit,
         result.diverged_branches.push_back(br);
       }
     }
+  }
+  // Flushed from the final result so the sums depend only on outcomes, not
+  // on how this session's schedules happened to be explored.
+  support::MetricsRegistry& registry = support::metrics();
+  registry.counter("vuln_verifier.attempts").inc(result.attempts);
+  if (result.site_reached) {
+    registry.counter("vuln_verifier.site_reached").inc();
+  }
+  if (result.attack_realized) {
+    registry.counter("vuln_verifier.attack_realized").inc();
+  }
+  if (result.livelocked) registry.counter("vuln_verifier.livelocked").inc();
+  if (result.budget_exhausted) {
+    registry.counter("vuln_verifier.budget_exhausted").inc();
   }
   return result;
 }

@@ -9,6 +9,8 @@
 
 #include "ir/callgraph.hpp"
 #include "support/log.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace owl::vuln {
 
@@ -389,6 +391,8 @@ VulnAnalysis VulnerabilityAnalyzer::analyze(
 VulnAnalysis VulnerabilityAnalyzer::analyze_from(
     const ir::Instruction* corrupted_read,
     const interp::CallStack& stack) const {
+  TRACE_SPAN("vuln-analyze-report", "algorithm1");
+  support::metrics().counter("vuln_analyzer.reports_analyzed").inc();
   const auto start_time = std::chrono::steady_clock::now();
 
   const std::function<const ControlDependence&(const ir::Function*)>
@@ -454,6 +458,10 @@ VulnAnalysis VulnerabilityAnalyzer::analyze_from(
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time)
           .count();
+  support::MetricsRegistry& registry = support::metrics();
+  registry.counter("vuln_analyzer.exploits").inc(analysis.exploits.size());
+  registry.wall_clock("vuln_analyzer.analysis_seconds")
+      .add(analysis.stats.seconds);
   return analysis;
 }
 

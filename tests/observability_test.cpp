@@ -1,0 +1,368 @@
+// Observability layer tests (DESIGN.md §8): the span tracer, the metrics
+// registry, and the run manifest.
+//
+//  - TraceCollectorTest: span recording, nesting containment on one
+//    thread, per-thread attribution under a ThreadPool, Chrome trace JSON
+//    shape, and the disabled-collector fast path.
+//  - MetricsRegistryTest: counter/gauge/histogram semantics, the
+//    deterministic serialize() contract (sorted, wall-clock excluded),
+//    and kind-collision detection.
+//  - RunManifestTest: manifest shape, determinism across identical runs
+//    and across jobs values (the CI differential gate's claim), and the
+//    owl_cli end-to-end path exercised via Pipeline::run_many.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/manifest.hpp"
+#include "core/pipeline.hpp"
+#include "ir/parser.hpp"
+#include "ir/verifier.hpp"
+#include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
+
+namespace owl {
+namespace {
+
+// --------------------------------------------------------------------------
+// TraceCollectorTest
+// --------------------------------------------------------------------------
+
+TEST(TraceCollectorTest, DisabledCollectorRecordsNothing) {
+  support::TraceCollector collector;
+  ASSERT_FALSE(collector.enabled());
+  {
+    support::TraceSpan span("stage", "target", collector);
+  }
+  EXPECT_EQ(collector.event_count(), 0u);
+}
+
+TEST(TraceCollectorTest, RecordsNameDetailAndDuration) {
+  support::TraceCollector collector;
+  collector.set_enabled(true);
+  {
+    support::TraceSpan span("detection", "toctou.mir", collector);
+  }
+  const std::vector<support::TraceEvent> events = collector.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "detection");
+  EXPECT_EQ(events[0].detail, "toctou.mir");
+  EXPECT_EQ(events[0].depth, 0u);
+}
+
+TEST(TraceCollectorTest, NestedSpansAreContainedInParent) {
+  support::TraceCollector collector;
+  collector.set_enabled(true);
+  {
+    support::TraceSpan outer("target", "t", collector);
+    {
+      support::TraceSpan inner("detection", "t", collector);
+    }
+  }
+  std::vector<support::TraceEvent> events = collector.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // snapshot() sorts by (tid, start, depth): the outer span opened first.
+  const support::TraceEvent& outer = events[0];
+  const support::TraceEvent& inner = events[1];
+  EXPECT_EQ(outer.name, "target");
+  EXPECT_EQ(inner.name, "detection");
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(outer.tid, inner.tid);
+  // Containment: the child opens no earlier and closes no later.
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.duration_ns,
+            outer.start_ns + outer.duration_ns);
+}
+
+TEST(TraceCollectorTest, AttributesSpansToWorkerThreads) {
+  support::TraceCollector collector;
+  collector.set_enabled(true);
+  constexpr std::size_t kTasks = 8;
+  support::ThreadPool pool(4);
+  pool.parallel_for(kTasks, [&](std::size_t i) {
+    support::TraceSpan span("task", std::to_string(i), collector);
+  });
+  const std::vector<support::TraceEvent> events = collector.snapshot();
+  ASSERT_EQ(events.size(), kTasks);
+  // Every task recorded exactly once, each on the tid of the worker that
+  // ran it; the pool has 4 workers so at most 4 distinct tids appear.
+  std::vector<std::string> details;
+  std::vector<std::uint32_t> tids;
+  for (const support::TraceEvent& e : events) {
+    EXPECT_EQ(e.name, "task");
+    details.push_back(e.detail);
+    if (std::find(tids.begin(), tids.end(), e.tid) == tids.end()) {
+      tids.push_back(e.tid);
+    }
+  }
+  std::sort(details.begin(), details.end());
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_NE(std::find(details.begin(), details.end(), std::to_string(i)),
+              details.end());
+  }
+  EXPECT_LE(tids.size(), 4u);
+  EXPECT_GE(tids.size(), 1u);
+}
+
+TEST(TraceCollectorTest, BuffersSurviveThreadExit) {
+  support::TraceCollector collector;
+  collector.set_enabled(true);
+  std::thread worker([&] {
+    support::TraceSpan span("ephemeral", "worker", collector);
+  });
+  worker.join();
+  // The recording thread is gone; its buffer (and event) must not be.
+  const std::vector<support::TraceEvent> events = collector.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "ephemeral");
+}
+
+TEST(TraceCollectorTest, ChromeTraceJsonShape) {
+  support::TraceCollector collector;
+  collector.set_enabled(true);
+  {
+    support::TraceSpan span("detection", "a \"quoted\" target", collector);
+  }
+  const std::string json = collector.chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"detection\""), std::string::npos);
+  // The detail must arrive JSON-escaped.
+  EXPECT_NE(json.find("a \\\"quoted\\\" target"), std::string::npos);
+  EXPECT_EQ(json.find("a \"quoted\" target"), std::string::npos);
+}
+
+TEST(TraceCollectorTest, ClearDropsEventsKeepsRecording) {
+  support::TraceCollector collector;
+  collector.set_enabled(true);
+  {
+    support::TraceSpan span("one", "x", collector);
+  }
+  collector.clear();
+  EXPECT_EQ(collector.event_count(), 0u);
+  {
+    support::TraceSpan span("two", "y", collector);
+  }
+  const std::vector<support::TraceEvent> events = collector.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "two");
+}
+
+// --------------------------------------------------------------------------
+// MetricsRegistryTest — on the global registry (the pipeline's sink), so
+// every test starts from clear_for_test() to stay order-independent.
+// --------------------------------------------------------------------------
+
+class MetricsRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { support::metrics().clear_for_test(); }
+  void TearDown() override { support::metrics().clear_for_test(); }
+};
+
+TEST_F(MetricsRegistryTest, CounterAccumulates) {
+  support::MetricsRegistry& registry = support::metrics();
+  registry.counter("a").inc();
+  registry.counter("a").inc(4);
+  EXPECT_EQ(registry.counter("a").value(), 5u);
+}
+
+TEST_F(MetricsRegistryTest, AccessorsReturnStableReferences) {
+  support::MetricsRegistry& registry = support::metrics();
+  support::Counter& c = registry.counter("stable");
+  registry.counter("other").inc();
+  EXPECT_EQ(&c, &registry.counter("stable"));
+}
+
+TEST_F(MetricsRegistryTest, KindCollisionThrows) {
+  support::MetricsRegistry& registry = support::metrics();
+  registry.counter("name");
+  EXPECT_THROW(registry.gauge("name"), std::logic_error);
+}
+
+TEST_F(MetricsRegistryTest, HistogramBucketsByBitWidth) {
+  support::MetricsRegistry& registry = support::metrics();
+  support::Histogram& h = registry.histogram("h");
+  h.observe(0);  // bucket 0
+  h.observe(1);  // bucket 1
+  h.observe(2);  // bucket 2
+  h.observe(3);  // bucket 2
+  h.observe(7);  // bucket 3
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 13u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST_F(MetricsRegistryTest, SerializeIsSortedAndDeterministic) {
+  support::MetricsRegistry& registry = support::metrics();
+  registry.counter("z.last").inc(2);
+  registry.counter("a.first").inc();
+  registry.gauge("m.middle").set(-3);
+  const std::string first = registry.serialize();
+  const std::string second = registry.serialize();
+  EXPECT_EQ(first, second);
+  EXPECT_LT(first.find("a.first"), first.find("m.middle"));
+  EXPECT_LT(first.find("m.middle"), first.find("z.last"));
+}
+
+TEST_F(MetricsRegistryTest, SerializeExcludesWallClock) {
+  support::MetricsRegistry& registry = support::metrics();
+  registry.counter("behavioral").inc();
+  const std::string before = registry.serialize();
+  registry.wall_clock("elapsed").add(1.5);
+  registry.wall_clock("elapsed").add(0.25);
+  // Wall clock changed; the behavioral snapshot must not.
+  EXPECT_EQ(registry.serialize(), before);
+  EXPECT_EQ(before.find("elapsed"), std::string::npos);
+  EXPECT_NEAR(registry.wall_clock("elapsed").seconds(), 1.75, 1e-9);
+  EXPECT_NE(registry.wall_json().find("elapsed"), std::string::npos);
+  EXPECT_EQ(registry.json().find("elapsed"), std::string::npos);
+}
+
+TEST_F(MetricsRegistryTest, ResetZeroesValuesKeepsRegistrations) {
+  support::MetricsRegistry& registry = support::metrics();
+  registry.counter("kept").inc(9);
+  const std::string populated = registry.serialize();
+  registry.reset();
+  const std::string zeroed = registry.serialize();
+  EXPECT_NE(populated, zeroed);
+  EXPECT_NE(zeroed.find("kept"), std::string::npos);
+  EXPECT_EQ(registry.counter("kept").value(), 0u);
+}
+
+TEST_F(MetricsRegistryTest, ConcurrentFlushesSumExactly) {
+  support::MetricsRegistry& registry = support::metrics();
+  constexpr std::size_t kTasks = 64;
+  support::ThreadPool pool(4);
+  pool.parallel_for(kTasks, [&](std::size_t) {
+    registry.counter("contended").inc(3);
+  });
+  EXPECT_EQ(registry.counter("contended").value(), 3u * kTasks);
+}
+
+// --------------------------------------------------------------------------
+// RunManifestTest — end to end through Pipeline::run_many.
+// --------------------------------------------------------------------------
+
+std::shared_ptr<ir::Module> parse_ok(std::string_view text) {
+  auto result = ir::parse_module(text);
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  std::shared_ptr<ir::Module> m = std::move(result).value();
+  EXPECT_TRUE(ir::verify_module(*m).is_ok());
+  return m;
+}
+
+core::PipelineTarget target_for(const std::shared_ptr<ir::Module>& m,
+                                std::uint64_t seed) {
+  core::PipelineTarget t;
+  t.name = m->name();
+  t.module = m.get();
+  t.factory = [m] {
+    interp::MachineOptions options;
+    options.max_steps = 50'000;
+    auto machine = std::make_unique<interp::Machine>(*m, options);
+    machine->start(m->find_function("main"));
+    return machine;
+  };
+  t.seed = seed;
+  return t;
+}
+
+std::string steady_race(const char* name) {
+  return std::string("module ") + name + R"(
+global @x
+func @writer() {
+entry:
+  store 7, @x
+  ret
+}
+func @reader() {
+entry:
+  %v = load @x
+  ret
+}
+func @main() {
+entry:
+  %a = thread_create @writer, 0
+  %b = thread_create @reader, 0
+  thread_join %a
+  thread_join %b
+  ret
+}
+)";
+}
+
+/// Renders the manifest for a fresh run of `jobs` workers over two racy
+/// targets, resetting global state first so runs are comparable.
+std::string manifest_for_run(unsigned jobs) {
+  support::metrics().clear_for_test();
+  auto m1 = parse_ok(steady_race("alpha"));
+  auto m2 = parse_ok(steady_race("beta"));
+  std::vector<core::PipelineTarget> targets{target_for(m1, 11),
+                                            target_for(m2, 23)};
+  core::PipelineOptions options;
+  options.jobs = jobs;
+  const std::vector<core::PipelineResult> results =
+      core::Pipeline(options).run_many(targets);
+  return core::render_manifest("test", options, targets, results);
+}
+
+/// The diffable manifest body: everything before the "environment" object
+/// (the manifest renders it last, exactly so this split is a substring cut).
+std::string diffable_body(const std::string& manifest) {
+  const std::size_t cut = manifest.find("\"environment\"");
+  EXPECT_NE(cut, std::string::npos);
+  return manifest.substr(0, cut);
+}
+
+TEST(RunManifestTest, ShapeContainsSchemaTargetsAndMetrics) {
+  const std::string manifest = manifest_for_run(1);
+  EXPECT_NE(manifest.find("\"schema\":\"owl-manifest-v1\""),
+            std::string::npos);
+  EXPECT_NE(manifest.find("\"tool\":\"test\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"name\":\"beta\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"detector\":\"tsan\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"environment\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"raw_reports\""), std::string::npos);
+}
+
+TEST(RunManifestTest, IdenticalRunsProduceByteIdenticalBodies) {
+  const std::string first = manifest_for_run(1);
+  const std::string second = manifest_for_run(1);
+  EXPECT_EQ(diffable_body(first), diffable_body(second));
+}
+
+TEST(RunManifestTest, BodyIsInvariantAcrossJobsValues) {
+  const std::string sequential = manifest_for_run(1);
+  const std::string parallel = manifest_for_run(4);
+  EXPECT_EQ(diffable_body(sequential), diffable_body(parallel));
+}
+
+TEST(RunManifestTest, MetricSnapshotIsInvariantAcrossJobsValues) {
+  (void)manifest_for_run(1);
+  const std::string sequential = support::metrics().serialize();
+  (void)manifest_for_run(4);
+  const std::string parallel = support::metrics().serialize();
+  EXPECT_EQ(sequential, parallel);
+  // The pipeline actually flushed something.
+  EXPECT_NE(sequential.find("pipeline.targets"), std::string::npos);
+  EXPECT_NE(sequential.find("detector.accesses"), std::string::npos);
+  support::metrics().clear_for_test();
+}
+
+TEST(RunManifestTest, WriteManifestReportsIoFailure) {
+  EXPECT_FALSE(core::write_manifest("/nonexistent-dir/m.json", "{}"));
+}
+
+}  // namespace
+}  // namespace owl

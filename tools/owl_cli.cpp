@@ -40,6 +40,12 @@
 //   --whole-program        ablation: ignore runtime call stacks
 //   --print-module         echo the parsed module before analyzing
 //   --print-reports        print every surviving race report
+//   --trace-out FILE       record per-stage spans and write a Chrome
+//                          trace_event JSON (about:tracing / Perfetto)
+//   --manifest FILE        write the run manifest (inputs, options, seeds,
+//                          per-target StageCounts, metrics snapshot)
+//   --metrics-out FILE     write the deterministic metrics snapshot
+//                          (support/metrics.hpp serialize() text form)
 //   -q / --quiet           summary only
 //
 // Exit status: 0 when the pipeline ran (regardless of findings), 1 on
@@ -55,9 +61,11 @@
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 #include "vuln/hint.hpp"
 
 using namespace owl;
@@ -86,6 +94,9 @@ struct CliOptions {
   std::vector<support::FaultPlan> fault_plans;
   unsigned jobs = 0;  ///< 0 = hardware_concurrency
   bool timings = false;
+  std::string trace_out;    ///< Chrome trace JSON path ("" = tracing off)
+  std::string manifest_out; ///< run-manifest JSON path ("" = none)
+  std::string metrics_out;  ///< metrics snapshot text path ("" = none)
 };
 
 void usage() {
@@ -98,7 +109,9 @@ void usage() {
                "       [--no-race-verifier] [--no-vuln-verifier]\n"
                "       [--whole-program] [--print-module] [--print-reports]\n"
                "       [--stage-deadline S] [--retries N]\n"
-               "       [--inject-fault stage:kind[:after]] [-q|--quiet]\n");
+               "       [--inject-fault stage:kind[:after]] [-q|--quiet]\n"
+               "       [--trace-out FILE] [--manifest FILE]\n"
+               "       [--metrics-out FILE]\n");
 }
 
 /// Parses "stage:kind[:after]" into a FaultPlan (see header comment).
@@ -221,6 +234,18 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.jobs = static_cast<unsigned>(n);
     } else if (arg == "--timings") {
       options.timings = true;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') return false;
+      options.trace_out = v;
+    } else if (arg == "--manifest") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') return false;
+      options.manifest_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') return false;
+      options.metrics_out = v;
     } else if (arg == "--inject-fault") {
       const char* v = next();
       support::FaultPlan plan;
@@ -343,6 +368,8 @@ int main(int argc, char** argv) {
   pipeline_options.retry.max_retries = options.retries;
   pipeline_options.detector_impl = options.detector_impl;
   pipeline_options.jobs = jobs;
+  pipeline_options.manifest_path = options.manifest_out;
+  pipeline_options.manifest_tool = "owl_cli";
   StageTimings stage_timings;
   if (options.timings) pipeline_options.stage_timings = &stage_timings;
   support::FaultInjector injector(options.seed);
@@ -350,20 +377,24 @@ int main(int argc, char** argv) {
     injector.add_plan(plan);
   }
   if (!injector.empty()) pipeline_options.fault_injector = &injector;
+  if (!options.trace_out.empty()) {
+    support::TraceCollector::instance().set_enabled(true);
+  }
 
-  std::vector<core::PipelineResult> results;
+  // Every invocation goes through run_many — the single entry point that
+  // emits the run manifest. With one target, --jobs buys wall-clock through
+  // the race verifier's schedule-exploration sharding instead of the
+  // target fan-out (run_many forwards the pool only when jobs == 1).
+  std::unique_ptr<support::ThreadPool> pool;
   if (targets.size() == 1) {
-    // One target: --jobs buys wall-clock through the race verifier's
-    // schedule-exploration sharding instead of the target fan-out.
-    std::unique_ptr<support::ThreadPool> pool;
+    pipeline_options.jobs = 1;
     if (jobs > 1) {
       pool = std::make_unique<support::ThreadPool>(jobs);
       pipeline_options.verifier_pool = pool.get();
     }
-    results.push_back(core::Pipeline(pipeline_options).run(targets[0]));
-  } else {
-    results = core::Pipeline(pipeline_options).run_many(targets);
   }
+  std::vector<core::PipelineResult> results =
+      core::Pipeline(pipeline_options).run_many(targets);
 
   for (const core::PipelineResult& result : results) {
     std::printf("owl_cli: %s\n", result.target_name.c_str());
@@ -413,5 +444,22 @@ int main(int argc, char** argv) {
     std::printf("\n--- per-stage timings (jobs=%u) ---\n", jobs);
     std::fputs(stage_timings.summary().c_str(), stdout);
   }
-  return 0;
+  int status = 0;
+  if (!options.trace_out.empty() &&
+      !support::TraceCollector::instance().write_chrome_trace(
+          options.trace_out)) {
+    std::fprintf(stderr, "owl_cli: cannot write trace to %s\n",
+                 options.trace_out.c_str());
+    status = 1;
+  }
+  if (!options.metrics_out.empty()) {
+    std::ofstream out(options.metrics_out, std::ios::trunc);
+    out << support::metrics().serialize();
+    if (!out) {
+      std::fprintf(stderr, "owl_cli: cannot write metrics to %s\n",
+                   options.metrics_out.c_str());
+      status = 1;
+    }
+  }
+  return status;
 }
