@@ -13,8 +13,11 @@
 #include <atomic>
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "analysis/prescreen.hpp"
+#include "analysis/static_info.hpp"
 #include "core/pipeline.hpp"
 #include "interp/machine.hpp"
 #include "ir/builder.hpp"
@@ -411,6 +414,110 @@ void BM_LoopAnalysis(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LoopAnalysis);
+
+// --------------------------------------------------------------------------
+// Static-analysis engine (BENCH_static.json; --benchmark_filter=
+// 'Andersen|Prescreen'): Andersen solve time, prescreen classification
+// time, and the detector hot path when the prescreen prunes the access.
+// --------------------------------------------------------------------------
+
+/// A module exercising every solver constraint kind at scale: `funcs`
+/// workers each alloca a private buffer, publish a gep'd interior pointer
+/// through a per-worker global slot, read it back through two levels of
+/// indirection, and dispatch through a function-pointer table.
+std::unique_ptr<ir::Module> make_analysis_module(std::int64_t funcs) {
+  auto m = std::make_unique<ir::Module>("static");
+  ir::IRBuilder b(m.get());
+  ir::GlobalVariable* slots =
+      m->add_global("slots", static_cast<std::uint64_t>(funcs), 0);
+  ir::GlobalVariable* fptrs =
+      m->add_global("fptrs", static_cast<std::uint64_t>(funcs), 0);
+  std::vector<ir::Function*> handlers;
+  std::vector<ir::Function*> workers;
+  for (std::int64_t i = 0; i < funcs; ++i) {
+    ir::Function* handler = m->add_function("handler" + std::to_string(i),
+                                            ir::Type::i64());
+    handler->add_argument(ir::Type::ptr(), "p");
+    b.set_insert_point(handler->add_block("entry"));
+    b.ret(b.load(handler->argument(0), "v"));
+    handlers.push_back(handler);
+  }
+  for (std::int64_t i = 0; i < funcs; ++i) {
+    ir::Function* worker = m->add_function("worker" + std::to_string(i),
+                                           ir::Type::void_type());
+    b.set_insert_point(worker->add_block("entry"));
+    ir::Instruction* buf = b.alloca_cells(4, "buf");
+    ir::Instruction* slot = b.gep(slots, b.i64(i), "slot");
+    b.store(b.gep(buf, b.i64(i % 4), "in"), slot);
+    ir::Instruction* back = b.load(slot, "back");
+    b.load(back, "deep");
+    ir::Instruction* fslot = b.gep(fptrs, b.i64(i), "fslot");
+    b.store(handlers[static_cast<std::size_t>(i)], fslot);
+    b.callptr(b.load(fslot, "f"), {back}, "r");
+    b.ret();
+    workers.push_back(worker);
+  }
+  ir::Function* main_fn = m->add_function("main", ir::Type::void_type());
+  b.set_insert_point(main_fn->add_block("entry"));
+  for (ir::Function* worker : workers) b.call(worker, {});
+  b.ret();
+  return m;
+}
+
+void BM_AndersenSolve(benchmark::State& state) {
+  const auto m = make_analysis_module(state.range(0));
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    const analysis::PointsTo pt(*m);
+    nodes = pt.stats().nodes;
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * nodes));
+}
+BENCHMARK(BM_AndersenSolve)->ArgName("funcs")->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PrescreenClassify(benchmark::State& state) {
+  const auto m = make_analysis_module(state.range(0));
+  const analysis::ModuleStatic ms(*m);
+  std::size_t considered = 0;
+  for (auto _ : state) {
+    const analysis::Prescreen ps(*m, ms.points_to, ms.resolved_calls);
+    considered = ps.considered_accesses();
+    benchmark::DoNotOptimize(ps.no_race().size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * considered));
+}
+BENCHMARK(BM_PrescreenClassify)->ArgName("funcs")->Arg(16)->Arg(64)->Arg(256);
+
+/// BM_DetectorRead's workload with the accesses statically cleared by the
+/// prescreen: the pruned path skips shadow lookup and capture entirely, so
+/// the gap to BM_DetectorRead is the payoff of a no_race verdict.
+void BM_DetectorPrescreenedRead(benchmark::State& state) {
+  const auto impl = state.range(0) == 0 ? race::DetectorImpl::kReference
+                                        : race::DetectorImpl::kFast;
+  const DetectorBenchSetup setup;
+  const std::unordered_set<const ir::Instruction*> no_race{setup.load,
+                                                           setup.store};
+  const race::PrescreenView view{race::PrescreenMode::kOn, &no_race};
+  race::TsanDetector detector(nullptr, false, impl, view);
+  constexpr std::uint64_t kAddrs = 256;
+  const interp::Address base = 4096;
+  std::uint64_t accesses = 0;
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < kAddrs; ++i) {
+      const interp::Address addr = base + i * 8;
+      detector.on_access(setup.access(0, addr, false), *setup.machine);
+      detector.on_access(setup.access(1, addr, false), *setup.machine);
+    }
+    accesses += 2 * kAddrs;
+  }
+  benchmark::DoNotOptimize(detector.reports().size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(accesses));
+}
+BENCHMARK(BM_DetectorPrescreenedRead)->ArgName("impl")->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -142,6 +142,60 @@ stage_differential() {
     || { echo "ci.sh: fast detector diverged under injected fault" >&2
          exit 1; }
 
+  # Prescreen gate: the static may-race pre-screen must never change
+  # behavior. Stdout, manifest body (scripts/manifest_diff.py), and metric
+  # snapshots must be byte-identical across --prescreen off/on/audit for
+  # both detector impls and jobs=1/4. Audit mode exits 3 on any
+  # pruned-but-raced access, which fails this stage via set -e.
+  current_step="prescreen differential gate (off/on/audit)"
+  for impl in fast reference; do
+    for j in 1 4; do
+      for mode in off on audit; do
+        ./build/tools/owl_cli --jobs "$j" --print-reports \
+          --detector-impl "$impl" --prescreen "$mode" \
+          --manifest "build/manifest-ps-$mode-$impl-j$j.json" \
+          --metrics-out "build/metrics-ps-$mode-$impl-j$j.txt" \
+          "${examples[@]}" > "build/out-ps-$mode-$impl-j$j.txt"
+      done
+      for mode in on audit; do
+        diff -u "build/out-ps-off-$impl-j$j.txt" \
+          "build/out-ps-$mode-$impl-j$j.txt" \
+          || { echo "ci.sh: --prescreen $mode changed reports ($impl, jobs=$j)" >&2
+               exit 1; }
+        python3 scripts/manifest_diff.py \
+          "build/manifest-ps-off-$impl-j$j.json" \
+          "build/manifest-ps-$mode-$impl-j$j.json" \
+          || { echo "ci.sh: --prescreen $mode changed the manifest body ($impl, jobs=$j)" >&2
+               exit 1; }
+        cmp "build/metrics-ps-off-$impl-j$j.txt" \
+          "build/metrics-ps-$mode-$impl-j$j.txt" \
+          || { echo "ci.sh: --prescreen $mode changed metrics ($impl, jobs=$j)" >&2
+               exit 1; }
+      done
+    done
+  done
+
+  # The pre-screen must also do real work: the examples include
+  # threadlocal_noise.mir, whose private-buffer traffic is provably
+  # thread-local, so pruned_accesses must be nonzero under --prescreen on
+  # and the audit sweep must have counted zero violations.
+  current_step="prescreen pruning effectiveness"
+  python3 - <<'EOF'
+import json
+on = json.load(open("build/manifest-ps-on-fast-j1.json"))
+audit = json.load(open("build/manifest-ps-audit-fast-j1.json"))
+pruned = on["environment"]["advisory_metrics"].get("prescreen.pruned_accesses", 0)
+prunable = on["metrics"].get("prescreen.prunable_instructions", 0)
+violations = audit["environment"]["advisory_metrics"].get(
+    "prescreen.audit_violations", 0)
+if prunable <= 0:
+    raise SystemExit("ci.sh: no statically prunable instructions on the examples")
+if pruned <= 0:
+    raise SystemExit("ci.sh: --prescreen on pruned no dynamic accesses")
+if violations != 0:
+    raise SystemExit(f"ci.sh: prescreen audit counted {violations} violations")
+EOF
+
   # Repeat-run determinism: two identical invocations must produce
   # byte-identical manifests (minus environment) and metric snapshots.
   current_step="repeat-run manifest/metrics determinism"
@@ -209,6 +263,12 @@ stage_bench() {
     --benchmark_out=build-release/BENCH_parallel.json \
     --benchmark_out_format=json > /dev/null
 
+  current_step="record fresh static-analysis benchmarks"
+  ./build-release/bench/micro_perf --benchmark_filter='Andersen|Prescreen' \
+    --benchmark_repetitions=3 \
+    --benchmark_out=build-release/BENCH_static.json \
+    --benchmark_out_format=json > /dev/null
+
   current_step="benchmark regression gate (detector)"
   python3 scripts/check_bench.py \
     build-release/BENCH_detector.json bench/baselines/BENCH_detector.json
@@ -216,6 +276,10 @@ stage_bench() {
   current_step="benchmark regression gate (parallel)"
   python3 scripts/check_bench.py \
     build-release/BENCH_parallel.json bench/baselines/BENCH_parallel.json
+
+  current_step="benchmark regression gate (static analysis)"
+  python3 scripts/check_bench.py \
+    build-release/BENCH_static.json bench/baselines/BENCH_static.json
 }
 
 stages=("$@")

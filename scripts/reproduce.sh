@@ -52,9 +52,20 @@ current_step="record BENCH_detector.json"
   --benchmark_out=BENCH_detector.json --benchmark_out_format=json \
   | tee -a bench_output.txt
 
+# Static-analysis engine numbers: Andersen solve time, prescreen
+# classification, and the detector hot path under a no_race verdict —
+# the pruning payoff quoted in EXPERIMENTS.md's prescreen table.
+current_step="record BENCH_static.json"
+./build/bench/micro_perf \
+  --benchmark_filter='Andersen|Prescreen' \
+  --benchmark_repetitions=3 \
+  --benchmark_out=BENCH_static.json --benchmark_out_format=json \
+  | tee -a bench_output.txt
+
 echo
 echo "Reproduction complete. See EXPERIMENTS.md for the paper-vs-measured"
 echo "record; bench_output.txt holds this run's tables and figures,"
 echo "BENCH_parallel.json the --jobs scaling numbers for this host,"
 echo "BENCH_detector.json the fast-vs-reference detector substrate numbers,"
+echo "BENCH_static.json the static-analysis (points-to/prescreen) numbers,"
 echo "and bench_manifests/ the per-sweep run manifests (DESIGN.md §8)."

@@ -1,0 +1,111 @@
+// Static may-race pre-screen over PointsTo results (DESIGN.md §9).
+//
+// Classifies every abstract object as escaping (reachable from a global or
+// a thread-create argument through the points-to closure) or thread-local,
+// runs a flow-insensitive must-lockset pass over lock/unlock regions, and
+// emits a per-instruction verdict: a plain load/store lands in no_race()
+// when every object its pointer may reference is provably thread-local or
+// consistently locked. The dynamic detectors consult that set to skip
+// shadow-memory work (PrescreenView), which must never change the emitted
+// reports — the soundness argument, in brief:
+//
+//  * Execution is untouched; only the observer prunes events, so a pruned
+//    verdict is unsound only if the pruned event could pair with another
+//    event into a reportable race.
+//  * Accesses whose dynamic address the analysis cannot bound ("wild":
+//    unknown pointers, empty non-literal pointers, out-of-extent offsets,
+//    function values used as data pointers) could alias anything, so a
+//    single wild access disables pruning for the whole module.
+//  * With no wild accesses, every event lands inside a pointed-to object's
+//    extent (or below the interpreter's null guard, which the detector
+//    re-checks dynamically), so object disjointness is real: events on a
+//    never-escaping object all come from its allocating thread and cannot
+//    race; events on a consistently-locked object are pairwise ordered by
+//    the common mutex's release/acquire edges.
+//  * "Consistently locked" additionally requires lock discipline: a mutex
+//    token is well-formed only when every lock/unlock of it names the
+//    global directly and every unlock provably holds it (else a foreign
+//    unlock could break the happens-before chain mid-critical-section);
+//    objects with any atomic/strcpy/memcopy accessor are never eligible.
+//
+// --prescreen=audit keeps all events flowing but cross-checks every would-
+// be-pruned access against the detector's verdict and counts violations.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/points_to.hpp"
+#include "ir/callgraph.hpp"
+
+namespace owl::analysis {
+
+class Prescreen {
+ public:
+  Prescreen(const ir::Module& module, const PointsTo& pt,
+            const ir::IndirectCallMap& resolved);
+
+  /// Plain loads/stores that provably cannot participate in a data race.
+  /// Empty whenever pruning_enabled() is false.
+  const std::unordered_set<const ir::Instruction*>& no_race() const noexcept {
+    return no_race_;
+  }
+
+  /// False when a wild access or unbounded store forced the analysis to
+  /// give up module-wide (disable_reason() says why).
+  bool pruning_enabled() const noexcept { return disable_reason_.empty(); }
+  const std::string& disable_reason() const noexcept {
+    return disable_reason_;
+  }
+
+  // --- classification introspection (tests, EXPERIMENTS.md) ---
+  std::size_t considered_accesses() const noexcept { return considered_; }
+  std::size_t wild_accesses() const noexcept { return wild_accesses_; }
+  bool object_escapes(PointsTo::ObjectId o) const {
+    return escaped_.at(o) != 0;
+  }
+  bool object_consistently_locked(PointsTo::ObjectId o) const {
+    return consistently_locked_.at(o) != 0;
+  }
+
+ private:
+  enum class PtrClass { kSubGuard, kTame, kWild };
+
+  PtrClass classify_pointer(const ir::Value* p) const;
+  void scan_accesses();
+  void compute_escape();
+  void compute_may_release();
+  void compute_locksets();
+  void compute_lock_discipline_and_common();
+  void compute_verdicts();
+  void disable(std::string reason);
+  bool well_formed(PointsTo::ObjectId token) const;
+  bool lock_token(const ir::Value* operand, PointsTo::ObjectId& token) const;
+  bool call_may_release(const ir::Instruction& instr) const;
+
+  const ir::Module& module_;
+  const PointsTo& pt_;
+  const ir::IndirectCallMap& resolved_;
+
+  std::vector<char> escaped_;
+  std::vector<char> lockable_;  // no atomic/strcpy/memcopy accessor so far
+  std::vector<char> undisciplined_;
+  std::vector<char> consistently_locked_;
+  bool all_undisciplined_ = false;
+  std::unordered_set<const ir::Function*> may_release_;
+  // Must-held lock tokens immediately before each access/unlock site.
+  std::unordered_map<const ir::Instruction*, std::vector<PointsTo::ObjectId>>
+      must_before_;
+  // Intersection of well-formed held tokens across an object's accessors;
+  // absent entry = no accessor seen yet (⊤).
+  std::unordered_map<PointsTo::ObjectId, std::vector<PointsTo::ObjectId>>
+      common_locks_;
+  std::unordered_set<const ir::Instruction*> no_race_;
+  std::string disable_reason_;
+  std::size_t considered_ = 0;
+  std::size_t wild_accesses_ = 0;
+};
+
+}  // namespace owl::analysis

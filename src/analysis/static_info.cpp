@@ -1,0 +1,49 @@
+#include "analysis/static_info.hpp"
+
+#include "ir/instruction.hpp"
+
+namespace owl::analysis {
+
+namespace {
+
+ir::IndirectCallMap build_indirect_map(const ir::Module& module,
+                                       const PointsTo& pt) {
+  ir::IndirectCallMap map;
+  for (const auto& f : module.functions()) {
+    for (const auto& bb : f->blocks()) {
+      for (const auto& instr : bb->instructions()) {
+        if (instr->opcode() != ir::Opcode::kCallPtr) continue;
+        auto targets = pt.resolve_indirect(instr.get());
+        if (!targets.empty()) {
+          map.emplace(instr.get(), std::move(targets));
+        }
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace
+
+ModuleStatic::ModuleStatic(const ir::Module& module)
+    : points_to(module),
+      resolved_calls(build_indirect_map(module, points_to)),
+      prescreen(module, points_to, resolved_calls) {
+  for (const auto& f : module.functions()) {
+    for (const auto& bb : f->blocks()) {
+      for (const auto& instr : bb->instructions()) {
+        if (instr->opcode() != ir::Opcode::kCallPtr) continue;
+        ++indirect_call_sites;
+        if (points_to.indirect_unresolved(instr.get())) {
+          ++unresolved_indirect_sites;
+        }
+        auto it = resolved_calls.find(instr.get());
+        if (it != resolved_calls.end()) {
+          indirect_resolved_edges += it->second.size();
+        }
+      }
+    }
+  }
+}
+
+}  // namespace owl::analysis

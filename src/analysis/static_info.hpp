@@ -1,0 +1,26 @@
+// Whole-module static analysis bundle, computed once per pipeline target:
+// Andersen points-to, per-callsite indirect-call resolution (the
+// IndirectCallMap the rebuilt CallGraph and Algorithm 1 consume), and the
+// may-race prescreen the dynamic detectors consult.
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/points_to.hpp"
+#include "analysis/prescreen.hpp"
+#include "ir/callgraph.hpp"
+
+namespace owl::analysis {
+
+struct ModuleStatic {
+  explicit ModuleStatic(const ir::Module& module);
+
+  PointsTo points_to;
+  ir::IndirectCallMap resolved_calls;
+  std::size_t indirect_call_sites = 0;
+  std::size_t indirect_resolved_edges = 0;
+  std::size_t unresolved_indirect_sites = 0;
+  Prescreen prescreen;
+};
+
+}  // namespace owl::analysis

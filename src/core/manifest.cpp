@@ -99,6 +99,7 @@ std::string render_manifest(const std::string& tool, const ManifestKv& options,
   out += " \"environment\":{";
   out += "\"total_seconds\":" + str_format("%.6f", total_seconds);
   out += ",\"wall_metrics\":" + registry.wall_json();
+  out += ",\"advisory_metrics\":" + registry.advisory_json();
   for (const auto& [key, value] : environment) {
     out += "," + json_quote(key) + ":" + json_quote(value);
   }
@@ -111,6 +112,7 @@ std::string render_manifest(const std::string& tool,
                             const std::vector<PipelineTarget>& targets,
                             const std::vector<PipelineResult>& results) {
   ManifestKv kv;
+  kv.reserve(11);
   const auto flag = [](bool b) { return std::string(b ? "true" : "false"); };
   kv.emplace_back("detector_impl",
                   options.detector_impl == race::DetectorImpl::kFast
@@ -149,9 +151,14 @@ std::string render_manifest(const std::string& tool,
   }
 
   ManifestKv environment;
+  environment.reserve(3);
   environment.emplace_back("jobs", str_format("%u", options.jobs));
   environment.emplace_back("verifier_pool",
                            flag(options.verifier_pool != nullptr));
+  // Environment, not options: the prescreen gate byte-diffs manifest
+  // bodies across modes, so the mode echo must live in the stripped tail.
+  environment.emplace_back(
+      "prescreen", std::string(race::prescreen_mode_name(options.prescreen)));
   return render_manifest(tool, kv, metas, results, environment);
 }
 

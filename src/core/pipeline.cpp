@@ -1,7 +1,9 @@
 #include "core/pipeline.hpp"
 
 #include <chrono>
+#include <optional>
 
+#include "analysis/static_info.hpp"
 #include "core/manifest.hpp"
 #include "race/atomicity_detector.hpp"
 #include "support/log.hpp"
@@ -18,6 +20,14 @@ using support::FailureCause;
 using support::FaultInjector;
 using support::FaultKind;
 using support::PipelineStage;
+
+// The prescreen treats integer constants below this limit as null-page
+// values that can never alias a real object; the detector's dynamic
+// re-check uses the interpreter's actual guard. They must agree.
+static_assert(analysis::kSafeConstantLimit ==
+                  static_cast<std::int64_t>(interp::kNullGuard),
+              "prescreen constant-literal limit out of sync with the "
+              "interpreter's null guard page");
 
 void record_failure(StageCounts& counts, PipelineStage stage,
                     FailureCause cause, std::string detail,
@@ -94,8 +104,8 @@ std::size_t PipelineResult::confirmed_attacks() const noexcept {
 
 std::vector<race::RaceReport> Pipeline::detect_once(
     const PipelineTarget& target, const race::AnnotationSet* annotations,
-    std::uint64_t base_seed, support::Budget& budget,
-    StageCounts& counts) const {
+    race::PrescreenView prescreen, std::uint64_t base_seed,
+    support::Budget& budget, StageCounts& counts) const {
   FaultInjector* injector = options_.fault_injector;
   std::vector<race::RaceReport> merged;
   for (unsigned i = 0; i < target.detection_schedules; ++i) {
@@ -130,13 +140,14 @@ std::vector<race::RaceReport> Pipeline::detect_once(
     std::unique_ptr<race::TsanDetector> detector;
     std::unique_ptr<interp::Scheduler> scheduler;
     if (target.detector == DetectorKind::kSki) {
-      detector = std::make_unique<race::SkiDetector>(annotations,
-                                                     options_.detector_impl);
+      detector = std::make_unique<race::SkiDetector>(
+          annotations, options_.detector_impl, prescreen);
       scheduler = std::make_unique<interp::PctScheduler>(
           base_seed + i, /*depth=*/3, /*expected_steps=*/20000);
     } else {
       detector = std::make_unique<race::TsanDetector>(
-          annotations, /*ski_watch_mode=*/false, options_.detector_impl);
+          annotations, /*ski_watch_mode=*/false, options_.detector_impl,
+          prescreen);
       scheduler = std::make_unique<interp::RandomScheduler>(base_seed + i);
     }
     machine->add_observer(detector.get());
@@ -149,7 +160,7 @@ std::vector<race::RaceReport> Pipeline::detect_once(
 
 std::optional<std::vector<race::RaceReport>> Pipeline::detect(
     const PipelineTarget& target, const race::AnnotationSet* annotations,
-    StageCounts& counts) const {
+    race::PrescreenView prescreen, StageCounts& counts) const {
   FaultInjector* injector = options_.fault_injector;
   const support::RetryPolicy& retry = options_.retry;
   for (unsigned attempt = 0; attempt < retry.max_attempts(); ++attempt) {
@@ -161,8 +172,8 @@ std::optional<std::vector<race::RaceReport>> Pipeline::detect(
     try {
       if (injector != nullptr) injector->maybe_throw();
       std::vector<race::RaceReport> merged = detect_once(
-          target, annotations, retry.seed_for(target.seed, attempt), budget,
-          counts);
+          target, annotations, prescreen,
+          retry.seed_for(target.seed, attempt), budget, counts);
       counts.retries_used += attempt;
       attribute_injected(injector, counts, PipelineStage::kDetection);
       return merged;
@@ -193,12 +204,36 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
   const support::RetryPolicy& retry = options_.retry;
   if (injector != nullptr) injector->begin_target(target.name);
 
+  // ---- step (0): whole-module static analysis ----
+  // Computed once per target, in every mode: the resolved indirect calls
+  // feed Algorithm 1 unconditionally, and the static counters flushed
+  // below are part of the behavioral snapshot (mode-independent, so the
+  // prescreen differential gate can byte-diff snapshots across modes).
+  std::optional<analysis::ModuleStatic> module_static;
+  if (target.module != nullptr) {
+    TRACE_SPAN("static-analysis", target.name);
+    const StageTimer timer(options_.stage_timings, "static-analysis");
+    module_static.emplace(*target.module);
+  }
+  race::PrescreenView prescreen;
+  if (options_.prescreen != race::PrescreenMode::kOff &&
+      module_static.has_value() &&
+      module_static->prescreen.pruning_enabled()) {
+    prescreen.mode = options_.prescreen;
+    prescreen.no_race = &module_static->prescreen.no_race();
+  }
+  if (module_static.has_value() &&
+      !module_static->prescreen.pruning_enabled()) {
+    OWL_LOG(kInfo) << target.name << ": prescreen pruning disabled ("
+                   << module_static->prescreen.disable_reason() << ")";
+  }
+
   // ---- step (1): raw detection ----
   std::vector<race::RaceReport> raw;
   {
     TRACE_SPAN("detection", target.name);
     const StageTimer timer(options_.stage_timings, "detection");
-    raw = detect(target, nullptr, result.counts)
+    raw = detect(target, nullptr, prescreen, result.counts)
               .value_or(std::vector<race::RaceReport>{});
   }
   result.counts.raw_reports = raw.size();
@@ -216,7 +251,8 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
       if (options_.preset_annotations->empty()) {
         reduced = std::move(raw);
       } else {
-        reduced = detect(target, options_.preset_annotations, result.counts)
+        reduced = detect(target, options_.preset_annotations, prescreen,
+                         result.counts)
                       .value_or(raw);  // degraded re-run: keep raw reports
       }
     } else if (options_.enable_adhoc_annotation) {
@@ -230,7 +266,8 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
       }
       if (outcome.has_value() && !outcome->annotations.empty()) {
         result.counts.adhoc_syncs = outcome->unique_adhoc_syncs;
-        reduced = detect(target, &outcome->annotations, result.counts)
+        reduced = detect(target, &outcome->annotations, prescreen,
+                         result.counts)
                       .value_or(raw);  // degraded re-run: keep raw reports
       } else {
         if (outcome.has_value()) {
@@ -373,6 +410,9 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
     }
     vuln::VulnerabilityAnalyzer::Options aopts;
     aopts.mode = options_.analyzer_mode;
+    if (module_static.has_value()) {
+      aopts.resolved_indirect = &module_static->resolved_calls;
+    }
     const vuln::VulnerabilityAnalyzer analyzer(*target.module, aopts);
     support::Budget analysis_budget(options_.stage_budgets.vuln_analysis);
     double analysis_seconds = 0.0;
@@ -532,6 +572,12 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
     registry.histogram("pipeline.raw_reports_per_target")
         .observe(result.counts.raw_reports);
     registry.wall_clock("pipeline.wall_seconds").add(result.total_seconds);
+    if (module_static.has_value()) {
+      registry.counter("callgraph.indirect_resolved")
+          .inc(module_static->indirect_resolved_edges);
+      registry.counter("prescreen.prunable_instructions")
+          .inc(module_static->prescreen.no_race().size());
+    }
   }
   return result;
 }

@@ -20,6 +20,7 @@
 
 #include "core/attack.hpp"
 #include "core/report_store.hpp"
+#include "race/prescreen_view.hpp"
 #include "race/ski_detector.hpp"
 #include "support/deadline.hpp"
 #include "support/fault_injector.hpp"
@@ -86,6 +87,12 @@ struct PipelineOptions {
   /// adhoc-sync front end (e.g. the SyncFinder-like static scanner, used by
   /// bench/ext_syncfinder for the §5.1 precision comparison). Not owned.
   const race::AnnotationSet* preset_annotations = nullptr;
+  /// Static may-race prescreen consulted by the detection substrate
+  /// (DESIGN.md §9). kOff (default) skips nothing; kOn prunes shadow work
+  /// for accesses the whole-module analysis proved race-free; kAudit runs
+  /// full detection and counts pruned-but-raced soundness violations
+  /// (advisory counter prescreen.audit_violations — must stay zero).
+  race::PrescreenMode prescreen = race::PrescreenMode::kOff;
   bool enable_race_verifier = true;     ///< off for kernels (paper §8.3)
   bool enable_vuln_verifier = true;
   unsigned race_verifier_attempts = 3;
@@ -185,13 +192,13 @@ class Pipeline {
   /// picks the fallback: empty for step (1), the raw reports for step (2)).
   std::optional<std::vector<race::RaceReport>> detect(
       const PipelineTarget& target, const race::AnnotationSet* annotations,
-      StageCounts& counts) const;
+      race::PrescreenView prescreen, StageCounts& counts) const;
 
   /// One detection pass (no retry wrapper); throws on detector faults.
   std::vector<race::RaceReport> detect_once(
       const PipelineTarget& target, const race::AnnotationSet* annotations,
-      std::uint64_t base_seed, support::Budget& budget,
-      StageCounts& counts) const;
+      race::PrescreenView prescreen, std::uint64_t base_seed,
+      support::Budget& budget, StageCounts& counts) const;
 
   PipelineOptions options_;
 };

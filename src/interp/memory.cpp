@@ -5,10 +5,6 @@
 namespace owl::interp {
 
 namespace {
-// The first 4 KiB stay unmapped so stores through small integers (the
-// classic corrupted-pointer pattern) fault as NULL dereferences.
-constexpr Address kNullGuard = 4096;
-
 Address align_down(Address addr) noexcept { return addr & ~Address{7}; }
 }  // namespace
 

@@ -19,6 +19,13 @@ namespace owl::interp {
 using Address = std::uint64_t;
 using Word = std::int64_t;
 
+/// The first 4 KiB stay unmapped so stores through small integers (the
+/// classic corrupted-pointer pattern) fault as NULL dereferences. Exported
+/// so detector-side consumers (prescreen pruning) can re-check dynamically
+/// that an address really lies inside object space before trusting static
+/// object reasoning about it.
+constexpr Address kNullGuard = 4096;
+
 enum class ObjectKind { kGlobal, kStack, kHeap };
 
 /// Outcome of a single memory operation.

@@ -1,0 +1,60 @@
+// Detector-side view of the static may-race prescreen (analysis/prescreen).
+//
+// The race layer must not depend on analysis/ (analysis depends on ir/ and
+// is consumed by core/), so the pipeline hands detectors this POD view: a
+// mode plus a pointer to the prescreen's no-race instruction set. kOn skips
+// shadow-memory work for provably race-free accesses; kAudit does all the
+// work anyway and counts accesses the prescreen *would* have pruned that
+// nevertheless participated in a race (soundness violations — must be zero).
+#pragma once
+
+#include <string_view>
+#include <unordered_set>
+
+namespace owl::ir {
+class Instruction;
+}  // namespace owl::ir
+
+namespace owl::race {
+
+enum class PrescreenMode {
+  kOff,    ///< prescreen not consulted (default)
+  kOn,     ///< prune shadow work for no-race accesses
+  kAudit,  ///< full detection plus pruned-but-raced violation counting
+};
+
+inline std::string_view prescreen_mode_name(PrescreenMode mode) noexcept {
+  switch (mode) {
+    case PrescreenMode::kOff: return "off";
+    case PrescreenMode::kOn: return "on";
+    case PrescreenMode::kAudit: return "audit";
+  }
+  return "?";
+}
+
+inline bool parse_prescreen_mode(std::string_view text,
+                                 PrescreenMode& out) noexcept {
+  if (text == "off") { out = PrescreenMode::kOff; return true; }
+  if (text == "on") { out = PrescreenMode::kOn; return true; }
+  if (text == "audit") { out = PrescreenMode::kAudit; return true; }
+  return false;
+}
+
+/// What a detector needs from the prescreen. Default-constructed views are
+/// inert (mode off, no set), so existing call sites need no changes.
+struct PrescreenView {
+  PrescreenMode mode = PrescreenMode::kOff;
+  /// Instructions whose plain accesses are statically race-free. Owned by
+  /// the pipeline's ModuleStatic; must outlive the detector. May be nullptr
+  /// only when mode is kOff.
+  const std::unordered_set<const ir::Instruction*>* no_race = nullptr;
+
+  bool active() const noexcept {
+    return mode != PrescreenMode::kOff && no_race != nullptr;
+  }
+  bool no_race_instr(const ir::Instruction* instr) const noexcept {
+    return no_race->find(instr) != no_race->end();
+  }
+};
+
+}  // namespace owl::race

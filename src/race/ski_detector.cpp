@@ -10,13 +10,14 @@ ScheduleExplorationResult explore_schedules(const MachineFactory& factory,
                                             std::uint64_t base_seed,
                                             const AnnotationSet* annotations,
                                             unsigned pct_depth,
-                                            DetectorImpl impl) {
+                                            DetectorImpl impl,
+                                            PrescreenView prescreen) {
   ScheduleExplorationResult result;
   for (unsigned i = 0; i < num_schedules; ++i) {
     TRACE_SPAN("detect-schedule", "ski");
     support::metrics().counter("detector.schedules_explored").inc();
     std::unique_ptr<interp::Machine> machine = factory();
-    SkiDetector detector(annotations, impl);
+    SkiDetector detector(annotations, impl, prescreen);
     machine->add_observer(&detector);
     interp::PctScheduler scheduler(base_seed + i, pct_depth,
                                    /*expected_steps=*/20000);

@@ -19,8 +19,9 @@ namespace owl::race {
 class SkiDetector final : public TsanDetector {
  public:
   explicit SkiDetector(const AnnotationSet* annotations = nullptr,
-                       DetectorImpl impl = DetectorImpl::kFast)
-      : TsanDetector(annotations, /*ski_watch_mode=*/true, impl) {}
+                       DetectorImpl impl = DetectorImpl::kFast,
+                       PrescreenView prescreen = {})
+      : TsanDetector(annotations, /*ski_watch_mode=*/true, impl, prescreen) {}
 };
 
 /// Builds one fresh, ready-to-run machine per schedule (threads spawned,
@@ -39,6 +40,7 @@ struct ScheduleExplorationResult {
 ScheduleExplorationResult explore_schedules(
     const MachineFactory& factory, unsigned num_schedules,
     std::uint64_t base_seed, const AnnotationSet* annotations = nullptr,
-    unsigned pct_depth = 3, DetectorImpl impl = DetectorImpl::kFast);
+    unsigned pct_depth = 3, DetectorImpl impl = DetectorImpl::kFast,
+    PrescreenView prescreen = {});
 
 }  // namespace owl::race

@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <cassert>
 
+#include "interp/memory.hpp"
 #include "support/metrics.hpp"
 
 namespace owl::race {
+
+bool TsanDetector::prescreen_hit(const ir::Instruction* instr,
+                                 interp::Address addr) const noexcept {
+  return prescreen_.active() && addr >= interp::kNullGuard &&
+         prescreen_.no_race_instr(instr);
+}
 
 void TsanDetector::on_access(const Access& access,
                              const interp::Machine& machine) {
@@ -76,6 +83,15 @@ void TsanDetector::ref_on_access(const Access& access,
       feed_watchers(rec);
     }
     return;
+  }
+
+  // Statically race-free plain access (analysis/prescreen): kOn skips the
+  // shadow bookkeeping below entirely. Sound because pruned instructions can
+  // only touch never-escaping or consistently-locked objects — disjoint
+  // from any address that can race or sit on a watch list (DESIGN.md §9).
+  if (prescreen_hit(access.instr, access.addr)) {
+    ++counters_.prescreen_pruned;
+    if (prescreen_.mode == PrescreenMode::kOn) return;
   }
 
   const AccessRecord rec = make_record(access, machine);
@@ -235,6 +251,14 @@ void TsanDetector::fast_on_access(const Access& access,
     return;
   }
 
+  // Statically race-free plain access: prune before the shadow-slot lookup
+  // so provably-local traffic never materializes shadow pages (see the
+  // matching comment in ref_on_access for the soundness argument).
+  if (prescreen_hit(access.instr, access.addr)) {
+    ++counters_.prescreen_pruned;
+    if (prescreen_.mode == PrescreenMode::kOn) return;
+  }
+
   ShadowSlot& slot = fast_shadow_.slot(access.addr);
   VectorClock& ct = fast_clock(access.tid);
   const std::uint64_t own_epoch = ct.get(access.tid);
@@ -372,6 +396,16 @@ void TsanDetector::record_race(const AccessRecord& prior,
                                const AccessRecord& current,
                                const interp::Machine& machine) {
   ++dynamic_races_;
+  // Audit mode runs full detection; an access the prescreen would have
+  // pruned showing up in a race falsifies the static no-race verdict.
+  if (prescreen_.mode == PrescreenMode::kAudit) {
+    if (prescreen_hit(prior.instr, prior.addr)) {
+      ++counters_.prescreen_audit_violations;
+    }
+    if (prescreen_hit(current.instr, current.addr)) {
+      ++counters_.prescreen_audit_violations;
+    }
+  }
   RaceReport probe;
   probe.first = prior;
   probe.second = current;
@@ -404,6 +438,12 @@ void TsanDetector::record_race(const AccessRecord& prior,
 void TsanDetector::feed_watchers(const AccessRecord& read) {
   auto it = watched_.find(read.addr);
   if (it == watched_.end()) return;
+  // A pruned read feeding a watched report would have been dropped in kOn
+  // mode and changed the report — count that as a violation too.
+  if (prescreen_.mode == PrescreenMode::kAudit &&
+      prescreen_hit(read.instr, read.addr)) {
+    ++counters_.prescreen_audit_violations;
+  }
   for (std::size_t idx : it->second) {
     RaceReport& report = reports_[idx];
     if (!report.supplemental_read.has_value()) {
@@ -419,18 +459,26 @@ void TsanDetector::feed_watchers(const AccessRecord& read) {
 }
 
 void TsanDetector::flush_metrics() {
+  // Substrate accounting is *advisory*: deterministic for one configuration
+  // but legitimately different across substrate impls and prescreen modes
+  // that CI requires to be report- and snapshot-identical. Only the emitted
+  // report count is a behavioral metric.
   support::MetricsRegistry& registry = support::metrics();
-  registry.counter("detector.accesses").inc(counters_.accesses);
-  registry.counter("detector.sync_events").inc(counters_.sync_events);
-  registry.counter("detector.epoch_write_hits")
+  registry.advisory("detector.accesses").inc(counters_.accesses);
+  registry.advisory("detector.sync_events").inc(counters_.sync_events);
+  registry.advisory("detector.epoch_write_hits")
       .inc(counters_.epoch_write_hits);
-  registry.counter("detector.epoch_read_hits").inc(counters_.epoch_read_hits);
-  registry.counter("detector.clock_fallbacks").inc(counters_.clock_fallbacks);
-  registry.counter("detector.lazy_materializations")
+  registry.advisory("detector.epoch_read_hits").inc(counters_.epoch_read_hits);
+  registry.advisory("detector.clock_fallbacks").inc(counters_.clock_fallbacks);
+  registry.advisory("detector.lazy_materializations")
       .inc(counters_.lazy_materializations);
   registry.counter("detector.reports_emitted").inc(reports_.size());
-  registry.counter("detector.shadow_pages")
+  registry.advisory("detector.shadow_pages")
       .inc(fast_shadow_.pages_allocated());
+  registry.advisory("prescreen.pruned_accesses")
+      .inc(counters_.prescreen_pruned);
+  registry.advisory("prescreen.audit_violations")
+      .inc(counters_.prescreen_audit_violations);
   counters_ = SubstrateCounters{};  // flush-once: take_reports may re-run
 }
 

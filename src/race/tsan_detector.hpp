@@ -30,6 +30,7 @@
 
 #include "interp/machine.hpp"
 #include "race/annotations.hpp"
+#include "race/prescreen_view.hpp"
 #include "race/report.hpp"
 #include "race/shadow_memory.hpp"
 #include "race/vector_clock.hpp"
@@ -59,11 +60,14 @@ class TsanDetector : public interp::Observer {
  public:
   /// `annotations` may be nullptr (first detection run). `ski_watch_mode`
   /// enables the §6.3 watch-list policy of logging all reads after a race.
+  /// `prescreen` defaults to an inert view (mode off); in kOn mode plain
+  /// accesses the static prescreen proved race-free skip all shadow work.
   explicit TsanDetector(const AnnotationSet* annotations = nullptr,
                         bool ski_watch_mode = false,
-                        DetectorImpl impl = DetectorImpl::kFast)
+                        DetectorImpl impl = DetectorImpl::kFast,
+                        PrescreenView prescreen = {})
       : annotations_(annotations), ski_watch_mode_(ski_watch_mode),
-        impl_(impl) {
+        impl_(impl), prescreen_(prescreen) {
     index_.reserve(16);
     if (impl_ == DetectorImpl::kFast) {
       fast_lock_clocks_.reserve(16);
@@ -97,6 +101,10 @@ class TsanDetector : public interp::Observer {
     std::uint64_t epoch_read_hits = 0;  ///< no_race repeated-read fast path
     std::uint64_t clock_fallbacks = 0;  ///< full vector-clock slow paths
     std::uint64_t lazy_materializations = 0;  ///< AccessRecords rebuilt
+    std::uint64_t prescreen_pruned = 0;  ///< accesses the prescreen covers
+    /// Audit mode only: a pruned-eligible access participated in a race or
+    /// fed a watched report — a prescreen soundness violation (must be 0).
+    std::uint64_t prescreen_audit_violations = 0;
   };
   const SubstrateCounters& substrate_counters() const noexcept {
     return counters_;
@@ -141,10 +149,17 @@ class TsanDetector : public interp::Observer {
                    const interp::Machine& machine);
   void feed_watchers(const AccessRecord& read);
   void flush_metrics();
+  /// True when the prescreen covers this dynamic access: view active, the
+  /// instruction is statically race-free, and the address really lies in
+  /// object space (the null page is where corrupted-pointer traffic the
+  /// static model cannot see lands, so it is never pruned).
+  bool prescreen_hit(const ir::Instruction* instr,
+                     interp::Address addr) const noexcept;
 
   const AnnotationSet* annotations_;
   bool ski_watch_mode_;
   DetectorImpl impl_;
+  PrescreenView prescreen_;
 
   // Reference state: hash-map shadow and clock tables.
   std::unordered_map<ThreadId, VectorClock> clocks_;

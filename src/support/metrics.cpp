@@ -41,6 +41,9 @@ MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
         fresh.histogram = std::make_unique<Histogram>();
         break;
       case Kind::kWallClock: fresh.wall = std::make_unique<WallClock>(); break;
+      case Kind::kAdvisory:
+        fresh.counter = std::make_unique<Counter>();
+        break;
     }
     it = entries_.emplace(std::string(name), std::move(fresh)).first;
   } else if (it->second.kind != kind) {
@@ -64,6 +67,10 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 
 WallClock& MetricsRegistry::wall_clock(std::string_view name) {
   return *entry(name, Kind::kWallClock).wall;
+}
+
+Counter& MetricsRegistry::advisory(std::string_view name) {
+  return *entry(name, Kind::kAdvisory).counter;
 }
 
 namespace {
@@ -120,7 +127,8 @@ std::string MetricsRegistry::serialize() const {
                           render_histogram(*entry.histogram).c_str());
         break;
       case Kind::kWallClock:
-        break;  // wall clock is excluded from the behavioral snapshot
+      case Kind::kAdvisory:
+        break;  // excluded from the behavioral snapshot
     }
   }
   return out;
@@ -145,6 +153,7 @@ std::string MetricsRegistry::json() const {
         value = histogram_json(*entry.histogram);
         break;
       case Kind::kWallClock:
+      case Kind::kAdvisory:
         continue;  // excluded
     }
     if (!first) out += ',';
@@ -170,12 +179,31 @@ std::string MetricsRegistry::wall_json() const {
   return out;
 }
 
+std::string MetricsRegistry::advisory_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kAdvisory) continue;
+    if (!first) out += ',';
+    first = false;
+    out += json_quote(name) + ":" +
+           str_format("%llu",
+                      static_cast<unsigned long long>(entry.counter->value()));
+  }
+  out += "}";
+  return out;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, entry] : entries_) {
     (void)name;
     switch (entry.kind) {
-      case Kind::kCounter: entry.counter->reset(); break;
+      case Kind::kCounter:
+      case Kind::kAdvisory:
+        entry.counter->reset();
+        break;
       case Kind::kGauge: entry.gauge->reset(); break;
       case Kind::kHistogram: entry.histogram->reset(); break;
       case Kind::kWallClock: entry.wall->reset(); break;

@@ -99,6 +99,14 @@ class Histogram {
 /// Accumulated wall-clock seconds. Excluded from serialize()/behavioral
 /// JSON by construction — wall clock varies run to run even when behavior
 /// is identical — and surfaced separately (manifest "environment").
+///
+/// A fourth category, *advisory* counters, sits between the two: integer
+/// event counts that are deterministic for a fixed configuration but vary
+/// legitimately across configurations that must stay report-equivalent
+/// (detector substrate choice, --prescreen mode, jobs value). Like wall
+/// clocks they are excluded from serialize()/json() so CI can byte-diff the
+/// behavioral snapshot across those configurations; advisory_json() renders
+/// them into the manifest's environment section.
 class WallClock {
  public:
   void add(double seconds) noexcept;
@@ -122,6 +130,11 @@ class MetricsRegistry {
   Histogram& histogram(std::string_view name);
   WallClock& wall_clock(std::string_view name);
 
+  /// Advisory counter: deterministic per configuration but excluded from
+  /// the behavioral snapshot (see the class comment). Distinct namespace
+  /// from counter(): a name is one kind for the registry's lifetime.
+  Counter& advisory(std::string_view name);
+
   /// Deterministic behavioral snapshot: one line per counter/gauge/
   /// histogram, sorted by name; wall-clock metrics excluded.
   std::string serialize() const;
@@ -132,6 +145,9 @@ class MetricsRegistry {
   /// Wall-clock metrics as a JSON object (the non-diffable complement).
   std::string wall_json() const;
 
+  /// Advisory counters as a JSON object (manifest environment section).
+  std::string advisory_json() const;
+
   /// Zeroes every value; registrations (names, kinds) are kept so a
   /// reset-run-serialize sequence is reproducible.
   void reset();
@@ -141,7 +157,7 @@ class MetricsRegistry {
   void clear_for_test();
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram, kWallClock };
+  enum class Kind { kCounter, kGauge, kHistogram, kWallClock, kAdvisory };
   struct Entry {
     Kind kind;
     std::unique_ptr<Counter> counter;

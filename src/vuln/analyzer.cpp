@@ -247,6 +247,59 @@ class Walker {
       }
     }
 
+    // Descend into indirect callees the points-to analysis resolved.
+    // Without the map this was Algorithm 1's blind spot: corruption
+    // flowing into a function-pointer dispatch was dropped at the callptr
+    // site. Operand 0 is the dispatched pointer; operand i+1 is argument i.
+    if (instr->opcode() == ir::Opcode::kCallPtr && options_.interprocedural &&
+        options_.resolved_indirect != nullptr) {
+      auto resolved = options_.resolved_indirect->find(instr);
+      if (resolved != options_.resolved_indirect->end()) {
+        std::uint64_t arg_mask = 0;
+        for (std::size_t i = 1; i < instr->operand_count() && i <= 64; ++i) {
+          if (is_corrupted(instr->operand(i))) arg_mask |= 1ULL << (i - 1);
+        }
+        if (arg_mask != 0 || ctrl_here) {
+          bool any_ret_corrupted = false;
+          // Targets are in module order (points-to resolution emits them
+          // sorted), so the walk is deterministic.
+          for (const ir::Function* callee : resolved->second) {
+            if (callee == nullptr || !callee->is_internal() ||
+                !callee->has_body()) {
+              continue;
+            }
+            const DescentKey key{callee, arg_mask, ctrl_here};
+            auto memo = descended_.find(key);
+            bool callee_ret_corrupted;
+            if (memo != descended_.end()) {
+              callee_ret_corrupted = memo->second;
+            } else {
+              descended_[key] = false;  // cut cycles pessimistically
+              for (std::size_t i = 0; i < callee->arguments().size() &&
+                                      i + 1 < instr->operand_count();
+                   ++i) {
+                if (arg_mask & (1ULL << i)) {
+                  mark_corrupted(callee->argument(i), instr->operand(i + 1));
+                }
+              }
+              const bool pushed = controlling != nullptr;
+              if (pushed) ctrl_context_.push_back(controlling);
+              callee_ret_corrupted =
+                  detect(callee, callee->entry(), 0, ctrl_here, depth + 1);
+              if (pushed) ctrl_context_.pop_back();
+              descended_[key] = callee_ret_corrupted;
+            }
+            any_ret_corrupted |= callee_ret_corrupted;
+          }
+          if (any_ret_corrupted && !instr->type().is_void() &&
+              !is_corrupted(instr)) {
+            mark_corrupted(instr, nullptr);
+            grew = true;
+          }
+        }
+      }
+    }
+
     // Return-value corruption: a corrupted operand, or a return under
     // corrupted control (Libsafe's "if (dying) return 0", Fig. 1 line 146).
     if (instr->opcode() == ir::Opcode::kRet && !ret_corrupted) {
@@ -431,7 +484,11 @@ VulnAnalysis VulnerabilityAnalyzer::analyze_from(
     } else if (options_.interprocedural) {
       // Whole-program ablation: no runtime stack — conservatively continue
       // into *every* static caller of the read's function, transitively.
-      ir::CallGraph cg(*module_);
+      // With resolved indirect calls the graph includes fnptr dispatchers.
+      ir::CallGraph cg = options_.resolved_indirect != nullptr
+                             ? ir::CallGraph(*module_,
+                                             *options_.resolved_indirect)
+                             : ir::CallGraph(*module_);
       std::unordered_set<const ir::Function*> visited{read_function};
       std::vector<const ir::Function*> work{read_function};
       while (!work.empty()) {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "interp/thread.hpp"
+#include "ir/callgraph.hpp"
 #include "ir/module.hpp"
 #include "race/report.hpp"
 #include "vuln/control_dep.hpp"
@@ -82,6 +83,12 @@ class VulnerabilityAnalyzer {
     /// Additional user-registered site classes (§7.2). Not owned; must
     /// outlive the analyzer. nullptr = built-in taxonomy only.
     const SiteRegistry* custom_sites = nullptr;
+    /// Per-callsite indirect-call targets resolved by the points-to
+    /// analysis. When set, the walk descends through kCallPtr dispatches
+    /// (and whole-program mode follows indirect callers) instead of
+    /// dropping corruption at the dispatch — the pre-analysis blind spot.
+    /// Not owned; must outlive the analyzer. nullptr = callptr opaque.
+    const ir::IndirectCallMap* resolved_indirect = nullptr;
   };
 
   explicit VulnerabilityAnalyzer(const ir::Module& module)

@@ -354,9 +354,13 @@ TEST(RunManifestTest, MetricSnapshotIsInvariantAcrossJobsValues) {
   (void)manifest_for_run(4);
   const std::string parallel = support::metrics().serialize();
   EXPECT_EQ(sequential, parallel);
-  // The pipeline actually flushed something.
+  // The pipeline actually flushed something: behavioral counters land in
+  // the snapshot, substrate accounting in the advisory section.
   EXPECT_NE(sequential.find("pipeline.targets"), std::string::npos);
-  EXPECT_NE(sequential.find("detector.accesses"), std::string::npos);
+  EXPECT_NE(sequential.find("detector.reports_emitted"), std::string::npos);
+  EXPECT_EQ(sequential.find("detector.accesses"), std::string::npos);
+  EXPECT_NE(support::metrics().advisory_json().find("detector.accesses"),
+            std::string::npos);
   support::metrics().clear_for_test();
 }
 

@@ -22,6 +22,11 @@
 //                          the paged-shadow/epoch fast path (default) or
 //                          the original hash-map substrate; both emit
 //                          byte-identical reports (CI diffs them)
+//   --prescreen MODE       static may-race prescreen: off (default), on
+//                          (skip shadow work for statically race-free
+//                          accesses), or audit (full detection plus
+//                          pruned-but-raced violation counting; a nonzero
+//                          violation count exits 3). Also --prescreen=MODE
 //   --schedules N          detection schedules (default: 4)
 //   --seed S               base schedule seed (default: 1)
 //   --max-steps N          per-run instruction budget (default: 400000)
@@ -49,7 +54,8 @@
 //   -q / --quiet           summary only
 //
 // Exit status: 0 when the pipeline ran (regardless of findings), 1 on
-// usage/parse errors, 2 when the module fails verification.
+// usage/parse errors, 2 when the module fails verification, 3 when
+// --prescreen audit observed soundness violations.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -79,6 +85,7 @@ struct CliOptions {
   std::vector<interp::Word> exploit_inputs;
   core::DetectorKind detector = core::DetectorKind::kTsan;
   race::DetectorImpl detector_impl = race::DetectorImpl::kFast;
+  race::PrescreenMode prescreen = race::PrescreenMode::kOff;
   unsigned schedules = 4;
   std::uint64_t seed = 1;
   std::uint64_t max_steps = 400'000;
@@ -105,6 +112,7 @@ void usage() {
                "       [--entry main] [--inputs a,b,c] [--jobs N] [--timings]\n"
                "       [--detector tsan|ski|atomicity] [--schedules N]\n"
                "       [--detector-impl fast|reference]\n"
+               "       [--prescreen off|on|audit]\n"
                "       [--seed S] [--max-steps N] [--no-adhoc]\n"
                "       [--no-race-verifier] [--no-vuln-verifier]\n"
                "       [--whole-program] [--print-module] [--print-reports]\n"
@@ -197,6 +205,15 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       } else if (std::strcmp(v, "reference") == 0) {
         options.detector_impl = race::DetectorImpl::kReference;
       } else {
+        return false;
+      }
+    } else if (arg == "--prescreen") {
+      const char* v = next();
+      if (v == nullptr || !race::parse_prescreen_mode(v, options.prescreen)) {
+        return false;
+      }
+    } else if (arg.rfind("--prescreen=", 0) == 0) {
+      if (!race::parse_prescreen_mode(arg.substr(12), options.prescreen)) {
         return false;
       }
     } else if (arg == "--schedules") {
@@ -367,6 +384,7 @@ int main(int argc, char** argv) {
   }
   pipeline_options.retry.max_retries = options.retries;
   pipeline_options.detector_impl = options.detector_impl;
+  pipeline_options.prescreen = options.prescreen;
   pipeline_options.jobs = jobs;
   pipeline_options.manifest_path = options.manifest_out;
   pipeline_options.manifest_tool = "owl_cli";
@@ -459,6 +477,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "owl_cli: cannot write metrics to %s\n",
                    options.metrics_out.c_str());
       status = 1;
+    }
+  }
+  if (options.prescreen == race::PrescreenMode::kAudit) {
+    const std::uint64_t violations =
+        support::metrics().advisory("prescreen.audit_violations").value();
+    if (violations != 0) {
+      std::fprintf(stderr,
+                   "owl_cli: prescreen audit: %llu pruned-but-raced "
+                   "access(es) falsify the static no-race verdict\n",
+                   static_cast<unsigned long long>(violations));
+      status = 3;
     }
   }
   return status;
