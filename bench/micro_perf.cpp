@@ -11,6 +11,9 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
 
 #include <unordered_map>
 #include <unordered_set>
@@ -27,6 +30,8 @@
 #include "race/shadow_memory.hpp"
 #include "race/tsan_detector.hpp"
 #include "race/vector_clock.hpp"
+#include "serve/service_core.hpp"
+#include "support/strings.hpp"
 #include "support/thread_pool.hpp"
 #include "vuln/analyzer.hpp"
 
@@ -518,6 +523,117 @@ void BM_DetectorPrescreenedRead(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(accesses));
 }
 BENCHMARK(BM_DetectorPrescreenedRead)->ArgName("impl")->Arg(0)->Arg(1);
+
+// --- owl_served round-trips (BENCH_serve.json) ------------------------
+// One full request lifecycle through ServiceCore — parse, admission,
+// queue, execute-or-cache, respond — without the socket hop. Cold forces
+// a distinct cache key every iteration (full pipeline + entry store);
+// Warm replays one key (integrity-checked read, no pipeline). The spread
+// between the two is what the content-addressed cache buys a CI fleet
+// re-analyzing modules that did not change.
+
+/// Same tiny lost-update module the serve tests use: fast to analyze,
+/// nonempty findings, so the rendered response is representative.
+constexpr const char* kServeModule = R"(module serve_bench
+global @balance [1] = 100
+
+func @deposit_a() {
+entry:
+  %b = load @balance
+  io_delay 5
+  %n = add %b, 10
+  store %n, @balance
+  ret
+}
+
+func @deposit_b() {
+entry:
+  %b = load @balance
+  io_delay 3
+  %n = add %b, 25
+  store %n, @balance
+  ret
+}
+
+func @main() {
+entry:
+  %a = thread_create @deposit_a, 0
+  %b = thread_create @deposit_b, 0
+  thread_join %a
+  thread_join %b
+  ret
+}
+)";
+
+/// Scratch cache directory, removed on destruction.
+struct ServeTempDir {
+  ServeTempDir() {
+    char pattern[] = "/tmp/owl_serve_bench_XXXXXX";
+    path = mkdtemp(pattern);
+  }
+  ~ServeTempDir() {
+    if (!path.empty()) {
+      const std::string cmd = "rm -rf '" + path + "'";
+      [[maybe_unused]] const int rc = std::system(cmd.c_str());
+    }
+  }
+  std::string path;
+};
+
+std::string serve_request_line(std::uint64_t seed) {
+  return str_format(
+      "{\"id\":\"bench\",\"module_text\":%s,\"name\":\"serve_bench\","
+      "\"options\":{\"seed\":%llu}}",
+      json_quote(kServeModule).c_str(),
+      static_cast<unsigned long long>(seed));
+}
+
+/// Submits one line and blocks until its response is delivered.
+void serve_roundtrip(serve::ServiceCore& core, const std::string& line) {
+  std::mutex mutex;
+  std::condition_variable done;
+  bool have_response = false;
+  core.handle_line(line, "bench", [&](const std::string&) {
+    std::lock_guard<std::mutex> lock(mutex);
+    have_response = true;
+    done.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&] { return have_response; });
+}
+
+void BM_ServeRoundtripCold(benchmark::State& state) {
+  ServeTempDir dir;
+  serve::ServiceCore::Config config;
+  config.cache_dir = dir.path + "/cache";
+  serve::ServiceCore core(config);
+  core.start();
+  std::uint64_t seed = 1;  // fresh key per iteration: always a miss
+  for (auto _ : state) {
+    serve_roundtrip(core, serve_request_line(seed++));
+  }
+  core.shutdown();
+  state.SetItemsProcessed(static_cast<std::int64_t>(seed - 1));
+}
+BENCHMARK(BM_ServeRoundtripCold)->UseRealTime();
+
+void BM_ServeRoundtripWarm(benchmark::State& state) {
+  ServeTempDir dir;
+  serve::ServiceCore::Config config;
+  config.cache_dir = dir.path + "/cache";
+  serve::ServiceCore core(config);
+  core.start();
+  const std::string line = serve_request_line(1);
+  serve_roundtrip(core, line);  // prewarm: the one miss + store
+  std::int64_t served = 0;
+  for (auto _ : state) {
+    serve_roundtrip(core, line);
+    ++served;
+  }
+  core.shutdown();
+  state.SetItemsProcessed(served);
+}
+BENCHMARK(BM_ServeRoundtripWarm)->UseRealTime();
 
 }  // namespace
 

@@ -9,6 +9,8 @@
 #   asan          unit tests under ASan+UBSan (own tree: build-asan)
 #   tsan          concurrency tests under TSan (own tree: build-tsan)
 #   differential  jobs/impl/manifest differential gates on the examples
+#   serve         owl_served robustness + differential gate under
+#                 ASan+UBSan (shares the asan tree)
 #   bench         release bench tree + benchmark-regression gate
 #   all           every stage above, in that order (the default)
 #
@@ -235,6 +237,31 @@ EOF
     || { echo "ci.sh: timing summary missing target-total" >&2; exit 1; }
 }
 
+# Service mode under ASan+UBSan: the daemon's fault handling, drain paths,
+# and journal replay are exactly where lifetime bugs would hide, so the
+# whole serve_check.py battery — differential vs owl_cli, overload shed,
+# SIGTERM drain, corrupt-entry eviction, kill -9 journal recovery, and the
+# 1k-request soak — runs against sanitized binaries.
+stage_serve() {
+  current_step="configure (ASan+UBSan serve tree)"
+  cmake -B build-asan -S . ${launcher_args[@]+"${launcher_args[@]}"} \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+
+  current_step="build owl_served/owl_cli/integration tests (ASan+UBSan)"
+  cmake --build build-asan -j"${jobs}" \
+    --target owl_served owl_cli owl_integration_tests
+
+  current_step="run serve lifecycle tests (ASan+UBSan)"
+  ./build-asan/tests/owl_integration_tests --gtest_filter='Serve*'
+
+  current_step="serve robustness + differential gate (ASan+UBSan)"
+  python3 scripts/serve_check.py \
+    --served build-asan/tools/owl_served \
+    --cli build-asan/tools/owl_cli \
+    --examples examples/ir
+}
+
 stage_bench() {
   # Release (-O2) build of the bench tree: the optimized code paths the
   # perf numbers come from must compile warning-clean (-Werror).
@@ -269,6 +296,12 @@ stage_bench() {
     --benchmark_out=build-release/BENCH_static.json \
     --benchmark_out_format=json > /dev/null
 
+  current_step="record fresh serve benchmarks"
+  ./build-release/bench/micro_perf --benchmark_filter='ServeRoundtrip' \
+    --benchmark_repetitions=3 \
+    --benchmark_out=build-release/BENCH_serve.json \
+    --benchmark_out_format=json > /dev/null
+
   current_step="benchmark regression gate (detector)"
   python3 scripts/check_bench.py \
     build-release/BENCH_detector.json bench/baselines/BENCH_detector.json
@@ -280,6 +313,10 @@ stage_bench() {
   current_step="benchmark regression gate (static analysis)"
   python3 scripts/check_bench.py \
     build-release/BENCH_static.json bench/baselines/BENCH_static.json
+
+  current_step="benchmark regression gate (serve)"
+  python3 scripts/check_bench.py \
+    build-release/BENCH_serve.json bench/baselines/BENCH_serve.json
 }
 
 stages=("$@")
@@ -294,6 +331,7 @@ for stage in "${stages[@]}"; do
     asan)         stage_asan ;;
     tsan)         stage_tsan ;;
     differential) stage_differential ;;
+    serve)        stage_serve ;;
     bench)        stage_bench ;;
     all)
       stage_build
@@ -301,11 +339,12 @@ for stage in "${stages[@]}"; do
       stage_asan
       stage_tsan
       stage_differential
+      stage_serve
       stage_bench
       ;;
     *)
       echo "ci.sh: unknown stage '$stage'" >&2
-      echo "usage: scripts/ci.sh [build|ctest|asan|tsan|differential|bench|all]" >&2
+      echo "usage: scripts/ci.sh [build|ctest|asan|tsan|differential|serve|bench|all]" >&2
       exit 1
       ;;
   esac

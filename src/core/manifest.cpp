@@ -162,6 +162,18 @@ std::string render_manifest(const std::string& tool,
   return render_manifest(tool, kv, metas, results, environment);
 }
 
+std::string strip_manifest_environment(const std::string& manifest_json) {
+  static constexpr std::string_view kMarker = "\n \"environment\":{";
+  const std::size_t pos = manifest_json.rfind(kMarker);
+  if (pos == std::string::npos) return manifest_json;
+  std::string body = manifest_json.substr(0, pos);
+  // The preceding "metrics" line ends with the ',' that introduced the
+  // environment object; drop it so the body stays valid JSON.
+  if (!body.empty() && body.back() == ',') body.pop_back();
+  body += "\n}\n";
+  return body;
+}
+
 bool write_manifest(const std::string& path, const std::string& json) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return false;

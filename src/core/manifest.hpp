@@ -53,4 +53,10 @@ std::string render_manifest(const std::string& tool,
 /// Writes `json` to `path`; false on I/O failure.
 bool write_manifest(const std::string& path, const std::string& json);
 
+/// Removes the non-diffable "environment" tail from a rendered manifest —
+/// the C++ twin of scripts/manifest_diff.py's strip. The result is the
+/// deterministic body the serve layer hashes into cache entries: equal
+/// bodies iff the runs were behaviorally identical.
+std::string strip_manifest_environment(const std::string& manifest_json);
+
 }  // namespace owl::core

@@ -1,0 +1,60 @@
+#include "core/render.hpp"
+
+#include "support/strings.hpp"
+#include "vuln/hint.hpp"
+
+namespace owl::core {
+
+std::string render_cli_summary(const PipelineResult& result) {
+  std::string out;
+  out += str_format("owl_cli: %s\n", result.target_name.c_str());
+  out += str_format("  raw race reports:      %zu\n",
+                    result.counts.raw_reports);
+  out += str_format("  adhoc syncs annotated: %zu\n",
+                    result.counts.adhoc_syncs);
+  out += str_format("  verifier eliminated:   %zu\n",
+                    result.counts.verifier_eliminated);
+  out += str_format("  verified races:        %zu\n", result.counts.remaining);
+  out += str_format("  vulnerability reports: %zu\n",
+                    result.counts.vulnerability_reports);
+  out += str_format("  attacks (site reached/realized): %zu/%zu\n",
+                    result.attacks.size(), result.confirmed_attacks());
+  out += str_format("  resilience:            %s\n",
+                    result.counts.resilience_summary().c_str());
+  if (result.degraded()) {
+    for (const support::FailureRecord& record : result.counts.failures) {
+      out += str_format("    %s\n", record.to_string().c_str());
+    }
+  }
+  return out;
+}
+
+std::string render_cli_details(const PipelineResult& result,
+                               bool print_reports) {
+  std::string out;
+  if (print_reports) {
+    out += str_format("\n--- verified races (%s) ---\n",
+                      result.target_name.c_str());
+    for (const race::RaceReport& report :
+         result.store.stage(Stage::kAfterRaceVerifier)) {
+      out += report.to_string();
+      out += "\n";
+    }
+  }
+  if (!result.exploits.empty()) {
+    out += str_format("\n--- vulnerable input hints (%s) ---\n",
+                      result.target_name.c_str());
+    for (const vuln::ExploitReport& exploit : result.exploits) {
+      out += vuln::render_hint(exploit);
+    }
+  }
+  if (!result.attacks.empty()) {
+    out += str_format("\n--- attacks (%s) ---\n", result.target_name.c_str());
+    for (const ConcurrencyAttack& attack : result.attacks) {
+      out += attack.to_string();
+    }
+  }
+  return out;
+}
+
+}  // namespace owl::core

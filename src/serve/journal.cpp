@@ -1,0 +1,151 @@
+#include "serve/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "support/sha256.hpp"
+#include "support/strings.hpp"
+
+namespace owl::serve {
+namespace {
+
+// Record formats (one line each, '\t'-separated so the payload — a JSON
+// request line — can contain any byte but '\n' and '\t' is never emitted
+// by json_quote'd text):
+//   A\t<key>\t<payload_sha>\t<request_line>
+//   C\t<key>
+constexpr char kAccepted = 'A';
+constexpr char kCompleted = 'C';
+
+}  // namespace
+
+bool Journal::open(const std::string& path) {
+  close();
+  if (path.empty()) return true;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) return false;
+  path_ = path;
+  return true;
+}
+
+void Journal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_.clear();
+}
+
+bool Journal::append_line(const std::string& line) {
+  if (fd_ < 0) return true;
+  // One write(2) per record: O_APPEND makes the append atomic with respect
+  // to other appends, and the bytes reach the kernel (kill -9 durable)
+  // before the call returns.
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t put =
+        ::write(fd_, line.data() + written, line.size() - written);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+bool Journal::accepted(const std::string& key,
+                       const std::string& request_line) {
+  std::string line(1, kAccepted);
+  line += '\t';
+  line += key;
+  line += '\t';
+  line += support::sha256_hex(request_line);
+  line += '\t';
+  line += request_line;
+  line += '\n';
+  return append_line(line);
+}
+
+bool Journal::completed(const std::string& key) {
+  std::string line(1, kCompleted);
+  line += '\t';
+  line += key;
+  line += '\n';
+  return append_line(line);
+}
+
+std::vector<JournalEntry> Journal::recover() {
+  std::vector<JournalEntry> incomplete;
+  if (fd_ < 0) return incomplete;
+  std::string raw;
+  {
+    const int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return incomplete;
+    char buffer[1 << 16];
+    while (true) {
+      const ssize_t got = ::read(fd, buffer, sizeof buffer);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (got == 0) break;
+      raw.append(buffer, static_cast<std::size_t>(got));
+    }
+    ::close(fd);
+  }
+
+  // First pass honors order: later A records for the same key supersede
+  // earlier ones; a C record settles the key.
+  std::vector<JournalEntry> accepted_order;
+  std::size_t begin = 0;
+  while (begin < raw.size()) {
+    const std::size_t end = raw.find('\n', begin);
+    if (end == std::string::npos) break;  // torn final line: never accepted
+    const std::string_view line(raw.data() + begin, end - begin);
+    begin = end + 1;
+    if (line.size() < 2 || line[1] != '\t') continue;  // corrupt: skip
+    if (line[0] == kCompleted) {
+      const std::string key(line.substr(2));
+      for (auto it = accepted_order.begin(); it != accepted_order.end();) {
+        if (it->key == key) {
+          it = accepted_order.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      continue;
+    }
+    if (line[0] != kAccepted) continue;
+    const std::size_t key_end = line.find('\t', 2);
+    if (key_end == std::string_view::npos) continue;
+    const std::size_t sha_end = line.find('\t', key_end + 1);
+    if (sha_end == std::string_view::npos) continue;
+    JournalEntry entry;
+    entry.key = std::string(line.substr(2, key_end - 2));
+    const std::string_view sha = line.substr(key_end + 1, sha_end - key_end - 1);
+    entry.request_line = std::string(line.substr(sha_end + 1));
+    // A bit-flipped record must not replay as a different request.
+    if (support::sha256_hex(entry.request_line) != sha) continue;
+    // Supersede any earlier unsettled A for the same key.
+    for (auto it = accepted_order.begin(); it != accepted_order.end();) {
+      if (it->key == entry.key) {
+        it = accepted_order.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    accepted_order.push_back(std::move(entry));
+  }
+  return accepted_order;
+}
+
+bool Journal::reset() {
+  if (fd_ < 0) return true;
+  return ::ftruncate(fd_, 0) == 0;
+}
+
+}  // namespace owl::serve

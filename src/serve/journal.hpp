@@ -1,0 +1,72 @@
+// Append-only request journal — the crash-recovery half of the serve layer
+// (DESIGN.md §10).
+//
+// Durability contract: a request is *accepted* the moment its A record
+// reaches the journal (an O_APPEND write(2) of one complete line, so the
+// bytes are in the kernel before the daemon acks anything — surviving
+// kill -9, though not power loss). A C record marks it settled: response
+// delivered (or deliberately dropped by fault injection) and any cache
+// write finished. On restart, recover() returns every A without a matching
+// C — exactly the accepted-but-unsettled requests a hard kill stranded —
+// and the server re-executes them into the result cache, so a client that
+// retries gets a warm, byte-identical answer instead of a lost request.
+//
+// Torn-write handling: kill -9 can strand one final partial line (a torn A
+// from a write interrupted by the kill). A torn line has no trailing '\n'
+// and is ignored by recover(): the request never reached the durability
+// point, so the client was never owed an acceptance. Every parseable line
+// is covered by the line's own sha over the payload, so a bit-flipped
+// journal line is also skipped rather than replayed as a different request.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace owl::serve {
+
+/// One accepted-but-unsettled request recovered from the journal.
+struct JournalEntry {
+  std::string key;           ///< cache key (content address)
+  std::string request_line;  ///< original protocol request, resolved form
+};
+
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal() { close(); }
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Opens (creating if needed) the journal at `path`; "" disables
+  /// journaling (accept/complete become no-ops, recover returns nothing).
+  bool open(const std::string& path);
+  bool enabled() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Appends the A record for `key`. `request_line` must be a single line
+  /// (the protocol's NDJSON form, with the module text resolved inline so
+  /// replay does not depend on the filesystem still holding the module).
+  bool accepted(const std::string& key, const std::string& request_line);
+
+  /// Appends the C record for `key`.
+  bool completed(const std::string& key);
+
+  /// Scans the journal for A records without a matching C. Safe on a
+  /// journal torn by kill -9 (partial or corrupt lines are skipped).
+  std::vector<JournalEntry> recover();
+
+  /// Truncates the journal to empty — called once every recovered entry
+  /// has been settled, and on clean shutdown after the drain.
+  bool reset();
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  bool append_line(const std::string& line);
+
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace owl::serve

@@ -1,0 +1,359 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/strings.hpp"
+
+namespace owl::serve {
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_int(std::int64_t v) {
+  JsonValue out;
+  out.kind_ = Kind::kInt;
+  out.int_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_double(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kDouble;
+  out.double_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> v) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.array_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_object(Members v) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.members_ = std::move(v);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a bounded view. Depth is capped so a
+/// hostile request ("[[[[[..." ) exhausts the limit, not the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool run(JsonValue& out, std::string& error) {
+    skip_ws();
+    if (!parse_value(out, 0)) {
+      error = str_format("byte %zu: %s", pos_, error_.c_str());
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = str_format("byte %zu: trailing characters", pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const char* message) {
+    error_ = message;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool at_end() const noexcept { return pos_ >= text_.size(); }
+  char peek() const noexcept { return text_[pos_]; }
+
+  bool consume(char expected, const char* message) {
+    if (at_end() || text_[pos_] != expected) return fail(message);
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        std::string text;
+        if (!parse_string(text)) return false;
+        out = JsonValue::make_string(std::move(text));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        out = JsonValue::make_bool(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        out = JsonValue::make_bool(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        out = JsonValue::make_null();
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    JsonValue::Members members;
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      out = JsonValue::make_object(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (at_end() || peek() != '"') return fail("expected object key");
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':', "expected ':'")) return false;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        out = JsonValue::make_object(std::move(members));
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      out = JsonValue::make_array(std::move(items));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      items.push_back(std::move(value));
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        out = JsonValue::make_array(std::move(items));
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("bad \\u escape");
+      }
+    }
+    return true;
+  }
+
+  void append_utf8(std::string& out, unsigned code_point) {
+    if (code_point < 0x80) {
+      out.push_back(static_cast<char>(code_point));
+    } else if (code_point < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (code_point >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code_point & 0x3f)));
+    } else if (code_point < 0x10000) {
+      out.push_back(static_cast<char>(0xe0 | (code_point >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (code_point & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (code_point >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (code_point & 0x3f)));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (at_end()) return fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code_point = 0;
+          if (!parse_hex4(code_point)) return false;
+          if (code_point >= 0xd800 && code_point <= 0xdbff) {
+            // High surrogate: require the paired low surrogate.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return fail("unpaired surrogate");
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            if (!parse_hex4(low)) return false;
+            if (low < 0xdc00 || low > 0xdfff) {
+              return fail("unpaired surrogate");
+            }
+            code_point =
+                0x10000 + ((code_point - 0xd800) << 10) + (low - 0xdc00);
+          } else if (code_point >= 0xdc00 && code_point <= 0xdfff) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(out, code_point);
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("expected value");
+    }
+    const char first_digit = peek();
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      ++pos_;
+    }
+    // RFC 8259: no leading zeros ("01" is two tokens, i.e. an error).
+    if (first_digit == '0' && pos_ - start > (text_[start] == '-' ? 2u : 1u)) {
+      return fail("leading zero");
+    }
+    bool integral = true;
+    if (!at_end() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("bad fraction");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("bad exponent");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      std::int64_t value = 0;
+      if (owl::parse_int64(token, value)) {
+        out = JsonValue::make_int(value);
+        return true;
+      }
+      // Integral but out of int64 range: fall through to double.
+    }
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("bad number");
+    out = JsonValue::make_double(value);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool JsonValue::parse(std::string_view text, JsonValue& out,
+                      std::string& error) {
+  Parser parser(text);
+  return parser.run(out, error);
+}
+
+}  // namespace owl::serve

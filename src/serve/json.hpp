@@ -1,0 +1,81 @@
+// Minimal JSON value model + strict parser for the serve protocol.
+//
+// The daemon's wire format is newline-delimited JSON (one request, one
+// line), so the parser only needs RFC 8259 values — objects, arrays,
+// strings with escapes, numbers, true/false/null — not streaming or
+// comments. It is strict on purpose: a service that silently coerces a
+// malformed request into "something close" would break the differential
+// guarantee, so any deviation is a parse error with a position, and the
+// caller turns it into a structured `error` response.
+//
+// Writing JSON does not go through this model: responses are assembled
+// directly with support::json_quote (same as the manifest renderer), which
+// keeps field order deterministic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace owl::serve {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  /// Object members keep source order (deterministic iteration).
+  using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_int() const noexcept { return kind_ == Kind::kInt; }
+  bool is_number() const noexcept {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool() const noexcept { return bool_; }
+  std::int64_t as_int() const noexcept { return int_; }
+  double as_double() const noexcept {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const noexcept { return string_; }
+  const std::vector<JsonValue>& as_array() const noexcept { return array_; }
+  const Members& as_object() const noexcept { return members_; }
+
+  /// First member named `key`, or nullptr.
+  const JsonValue* find(std::string_view key) const noexcept;
+
+  // --- construction (parser + tests) ---
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_int(std::int64_t v);
+  static JsonValue make_double(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> v);
+  static JsonValue make_object(Members v);
+
+  /// Parses exactly one JSON value spanning all of `text` (surrounding
+  /// whitespace allowed, trailing garbage is an error). On failure returns
+  /// false and describes the problem in `error`.
+  static bool parse(std::string_view text, JsonValue& out, std::string& error);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  Members members_;
+};
+
+}  // namespace owl::serve

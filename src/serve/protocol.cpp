@@ -1,0 +1,336 @@
+#include "serve/protocol.hpp"
+
+#include "core/manifest.hpp"
+#include "race/prescreen_view.hpp"
+#include "support/strings.hpp"
+
+namespace owl::serve {
+namespace {
+
+bool read_uint(const JsonValue& value, std::uint64_t& out) {
+  if (!value.is_int() || value.as_int() < 0) return false;
+  out = static_cast<std::uint64_t>(value.as_int());
+  return true;
+}
+
+bool read_word_list(const JsonValue& value, std::vector<std::int64_t>& out) {
+  if (!value.is_array()) return false;
+  out.clear();
+  for (const JsonValue& item : value.as_array()) {
+    if (!item.is_int()) return false;
+    out.push_back(item.as_int());
+  }
+  return true;
+}
+
+std::string words_csv(const std::vector<std::int64_t>& words) {
+  std::string out;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(words[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool AnalysisOptions::from_json(const JsonValue& value, AnalysisOptions& out,
+                                std::string& error) {
+  if (!value.is_object()) {
+    error = "options must be an object";
+    return false;
+  }
+  const auto bad = [&error](const std::string& key) {
+    error = "bad value for option \"" + key + "\"";
+    return false;
+  };
+  for (const auto& [key, field] : value.as_object()) {
+    if (key == "entry") {
+      if (!field.is_string() || field.as_string().empty()) return bad(key);
+      out.entry = field.as_string();
+    } else if (key == "inputs") {
+      if (!read_word_list(field, out.inputs)) return bad(key);
+    } else if (key == "exploit_inputs") {
+      if (!read_word_list(field, out.exploit_inputs)) return bad(key);
+    } else if (key == "detector") {
+      if (!field.is_string()) return bad(key);
+      const std::string& name = field.as_string();
+      if (name == "tsan") {
+        out.detector = core::DetectorKind::kTsan;
+      } else if (name == "ski") {
+        out.detector = core::DetectorKind::kSki;
+      } else if (name == "atomicity") {
+        out.detector = core::DetectorKind::kAtomicity;
+      } else {
+        return bad(key);
+      }
+    } else if (key == "detector_impl") {
+      if (!field.is_string()) return bad(key);
+      const std::string& name = field.as_string();
+      if (name == "fast") {
+        out.detector_impl = race::DetectorImpl::kFast;
+      } else if (name == "reference") {
+        out.detector_impl = race::DetectorImpl::kReference;
+      } else {
+        return bad(key);
+      }
+    } else if (key == "prescreen") {
+      if (!field.is_string() ||
+          !race::parse_prescreen_mode(field.as_string(), out.prescreen)) {
+        return bad(key);
+      }
+    } else if (key == "schedules") {
+      std::uint64_t n = 0;
+      if (!read_uint(field, n) || n == 0 || n > 1u << 20) return bad(key);
+      out.schedules = static_cast<unsigned>(n);
+    } else if (key == "seed") {
+      if (!field.is_int()) return bad(key);
+      out.seed = static_cast<std::uint64_t>(field.as_int());
+    } else if (key == "max_steps") {
+      std::uint64_t n = 0;
+      if (!read_uint(field, n) || n == 0) return bad(key);
+      out.max_steps = n;
+    } else if (key == "adhoc") {
+      if (!field.is_bool()) return bad(key);
+      out.adhoc = field.as_bool();
+    } else if (key == "race_verifier") {
+      if (!field.is_bool()) return bad(key);
+      out.race_verifier = field.as_bool();
+    } else if (key == "vuln_verifier") {
+      if (!field.is_bool()) return bad(key);
+      out.vuln_verifier = field.as_bool();
+    } else if (key == "whole_program") {
+      if (!field.is_bool()) return bad(key);
+      out.whole_program = field.as_bool();
+    } else if (key == "print_module") {
+      if (!field.is_bool()) return bad(key);
+      out.print_module = field.as_bool();
+    } else if (key == "print_reports") {
+      if (!field.is_bool()) return bad(key);
+      out.print_reports = field.as_bool();
+    } else if (key == "quiet") {
+      if (!field.is_bool()) return bad(key);
+      out.quiet = field.as_bool();
+    } else if (key == "stage_deadline") {
+      if (!field.is_number() || field.as_double() < 0) return bad(key);
+      out.stage_deadline = field.as_double();
+    } else if (key == "retries") {
+      std::uint64_t n = 0;
+      if (!read_uint(field, n) || n > 1000) return bad(key);
+      out.retries = static_cast<unsigned>(n);
+    } else if (key == "jobs") {
+      std::uint64_t n = 0;
+      if (!read_uint(field, n) || n > 256) return bad(key);
+      out.jobs = static_cast<unsigned>(n);
+    } else {
+      // Strict: an ignored option would silently answer for the wrong
+      // owl_cli invocation.
+      error = "unknown option \"" + key + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string AnalysisOptions::canonical_blob(
+    const std::string& target_name) const {
+  std::string out = "owl-options-v1\n";
+  out += "name=" + target_name + "\n";
+  out += "entry=" + entry + "\n";
+  out += "inputs=" + words_csv(inputs) + "\n";
+  out += "exploit_inputs=" + words_csv(exploit_inputs) + "\n";
+  out += "detector=";
+  out += core::detector_kind_name(detector);
+  out += "\n";
+  out += "detector_impl=";
+  out += detector_impl == race::DetectorImpl::kFast ? "fast" : "reference";
+  out += "\n";
+  out += "prescreen=";
+  out += race::prescreen_mode_name(prescreen);
+  out += "\n";
+  out += str_format("schedules=%u\n", schedules);
+  out += str_format("seed=%llu\n", static_cast<unsigned long long>(seed));
+  out += str_format("max_steps=%llu\n",
+                    static_cast<unsigned long long>(max_steps));
+  out += str_format("adhoc=%d\n", adhoc ? 1 : 0);
+  out += str_format("race_verifier=%d\n", race_verifier ? 1 : 0);
+  out += str_format("vuln_verifier=%d\n", vuln_verifier ? 1 : 0);
+  out += str_format("whole_program=%d\n", whole_program ? 1 : 0);
+  out += str_format("print_module=%d\n", print_module ? 1 : 0);
+  out += str_format("print_reports=%d\n", print_reports ? 1 : 0);
+  out += str_format("quiet=%d\n", quiet ? 1 : 0);
+  out += str_format("stage_deadline=%.6f\n", stage_deadline);
+  out += str_format("retries=%u\n", retries);
+  // NOTE: jobs is deliberately part of the blob even though responses are
+  // byte-identical across jobs values — the equivalence is a *property the
+  // differential gate proves*, not an assumption the cache bakes in. Two
+  // keys that collapse only if the property holds would make a determinism
+  // bug unobservable.
+  out += str_format("jobs=%u\n", jobs);
+  return out;
+}
+
+Status parse_request(std::string_view line, Request& out) {
+  JsonValue root;
+  std::string error;
+  if (!JsonValue::parse(line, root, error)) {
+    return parse_error("request is not valid JSON: " + error);
+  }
+  if (!root.is_object()) {
+    return invalid_argument_error("request must be a JSON object");
+  }
+  out = Request();
+  const JsonValue* options_value = nullptr;
+  for (const auto& [key, field] : root.as_object()) {
+    if (key == "op") {
+      if (!field.is_string()) {
+        return invalid_argument_error("\"op\" must be a string");
+      }
+      const std::string& op = field.as_string();
+      if (op == "analyze") {
+        out.op = Request::Op::kAnalyze;
+      } else if (op == "ping") {
+        out.op = Request::Op::kPing;
+      } else if (op == "stats") {
+        out.op = Request::Op::kStats;
+      } else if (op == "shutdown") {
+        out.op = Request::Op::kShutdown;
+      } else {
+        return invalid_argument_error("unknown op \"" + op + "\"");
+      }
+    } else if (key == "id") {
+      if (!field.is_string()) {
+        return invalid_argument_error("\"id\" must be a string");
+      }
+      out.id = field.as_string();
+    } else if (key == "client") {
+      if (!field.is_string()) {
+        return invalid_argument_error("\"client\" must be a string");
+      }
+      out.client = field.as_string();
+    } else if (key == "module_path") {
+      if (!field.is_string() || field.as_string().empty()) {
+        return invalid_argument_error("\"module_path\" must be a non-empty string");
+      }
+      out.module_path = field.as_string();
+    } else if (key == "module_text") {
+      if (!field.is_string()) {
+        return invalid_argument_error("\"module_text\" must be a string");
+      }
+      out.module_text = field.as_string();
+    } else if (key == "name") {
+      if (!field.is_string()) {
+        return invalid_argument_error("\"name\" must be a string");
+      }
+      out.name = field.as_string();
+    } else if (key == "options") {
+      options_value = &field;
+    } else {
+      return invalid_argument_error("unknown request field \"" + key + "\"");
+    }
+  }
+  if (options_value != nullptr) {
+    std::string options_error;
+    if (!AnalysisOptions::from_json(*options_value, out.options,
+                                    options_error)) {
+      return invalid_argument_error(options_error);
+    }
+  }
+  if (out.op == Request::Op::kAnalyze) {
+    const bool has_path = !out.module_path.empty();
+    const bool has_text = root.find("module_text") != nullptr;
+    if (has_path == has_text) {
+      return invalid_argument_error(
+          "analyze requires exactly one of \"module_path\" or "
+          "\"module_text\"");
+    }
+  }
+  return Status::ok();
+}
+
+std::string serialize_request(const Request& request) {
+  const AnalysisOptions& opt = request.options;
+  const auto words_json = [](const std::vector<std::int64_t>& words) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(words[i]);
+    }
+    out += "]";
+    return out;
+  };
+  std::string out = "{\"op\":\"analyze\"";
+  out += ",\"id\":" + json_quote(request.id);
+  out += ",\"client\":" + json_quote(request.client);
+  out += ",\"module_text\":" + json_quote(request.module_text);
+  out += ",\"name\":" + json_quote(request.display_name());
+  out += ",\"options\":{";
+  out += "\"entry\":" + json_quote(opt.entry);
+  out += ",\"inputs\":" + words_json(opt.inputs);
+  out += ",\"exploit_inputs\":" + words_json(opt.exploit_inputs);
+  out += ",\"detector\":" +
+         json_quote(core::detector_kind_name(opt.detector));
+  out += ",\"detector_impl\":";
+  out += opt.detector_impl == race::DetectorImpl::kFast ? "\"fast\""
+                                                        : "\"reference\"";
+  out += ",\"prescreen\":" +
+         json_quote(race::prescreen_mode_name(opt.prescreen));
+  out += str_format(",\"schedules\":%u", opt.schedules);
+  out += str_format(",\"seed\":%lld", static_cast<long long>(opt.seed));
+  out += str_format(",\"max_steps\":%llu",
+                    static_cast<unsigned long long>(opt.max_steps));
+  const auto flag = [](bool value) { return value ? "true" : "false"; };
+  out += std::string(",\"adhoc\":") + flag(opt.adhoc);
+  out += std::string(",\"race_verifier\":") + flag(opt.race_verifier);
+  out += std::string(",\"vuln_verifier\":") + flag(opt.vuln_verifier);
+  out += std::string(",\"whole_program\":") + flag(opt.whole_program);
+  out += std::string(",\"print_module\":") + flag(opt.print_module);
+  out += std::string(",\"print_reports\":") + flag(opt.print_reports);
+  out += std::string(",\"quiet\":") + flag(opt.quiet);
+  out += str_format(",\"stage_deadline\":%.6f", opt.stage_deadline);
+  out += str_format(",\"retries\":%u", opt.retries);
+  out += str_format(",\"jobs\":%u", opt.jobs);
+  out += "}}";
+  return out;
+}
+
+std::string ok_response(const std::string& id, std::string_view cache,
+                        int exit_code, bool degraded,
+                        const std::string& manifest_sha,
+                        const std::string& output, const std::string& error) {
+  std::string out = "{\"id\":" + json_quote(id);
+  out += ",\"status\":\"ok\"";
+  out += ",\"cache\":" + json_quote(cache);
+  out += str_format(",\"exit\":%d", exit_code);
+  out += ",\"degraded\":";
+  out += degraded ? "true" : "false";
+  out += ",\"manifest_sha\":" + json_quote(manifest_sha);
+  out += ",\"output\":" + json_quote(output);
+  out += ",\"error\":" + json_quote(error);
+  out += "}\n";
+  return out;
+}
+
+std::string rejected_response(const std::string& id, std::string_view reason,
+                              unsigned retry_after_ms) {
+  std::string out = "{\"id\":" + json_quote(id);
+  out += ",\"status\":\"rejected\"";
+  out += ",\"reason\":" + json_quote(reason);
+  out += str_format(",\"retry_after_ms\":%u", retry_after_ms);
+  out += "}\n";
+  return out;
+}
+
+std::string error_response(const std::string& id, const std::string& reason) {
+  std::string out = "{\"id\":" + json_quote(id);
+  out += ",\"status\":\"error\"";
+  out += ",\"reason\":" + json_quote(reason);
+  out += "}\n";
+  return out;
+}
+
+std::string ping_response() {
+  return "{\"status\":\"ok\",\"pong\":true}\n";
+}
+
+}  // namespace owl::serve

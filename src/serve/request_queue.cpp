@@ -1,0 +1,14 @@
+#include "serve/request_queue.hpp"
+
+namespace owl::serve {
+
+std::string_view shed_reason_name(ShedReason reason) noexcept {
+  switch (reason) {
+    case ShedReason::kQueueFull: return "queue_full";
+    case ShedReason::kClientInflight: return "client_inflight_exceeded";
+    case ShedReason::kShuttingDown: return "shutting_down";
+  }
+  return "?";
+}
+
+}  // namespace owl::serve

@@ -1,0 +1,134 @@
+// Admission control + bounded work queue for the serve layer — the
+// backpressure half of DESIGN.md §10.
+//
+// Overload policy, in admission order:
+//  1. draining? -> shed with "shutting_down" (SIGTERM keeps serving what it
+//     already accepted, nothing new);
+//  2. the requesting client already holds `max_inflight_per_client` slots?
+//     -> shed with "client_inflight_exceeded" (one chatty client cannot
+//     monopolize the queue);
+//  3. queue at capacity? -> shed with "queue_full".
+// Shedding is always a structured rejection carrying retry_after_ms; the
+// daemon never blocks a reader thread on a full queue and never drops a
+// request silently.
+//
+// A slot is held from successful admit() until release() after the
+// response is settled — i.e. the bound covers queued AND executing work,
+// so capacity is a true limit on daemon memory, not just queue length.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace owl::serve {
+
+/// Why admit() refused (values are the wire `reason` strings).
+enum class ShedReason { kQueueFull, kClientInflight, kShuttingDown };
+
+std::string_view shed_reason_name(ShedReason reason) noexcept;
+
+template <typename Work>
+class RequestQueue {
+ public:
+  RequestQueue(std::size_t capacity, std::size_t max_inflight_per_client)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        per_client_cap_(max_inflight_per_client == 0
+                            ? capacity_
+                            : max_inflight_per_client) {}
+
+  /// Reserves a slot for `client`. On refusal returns the shed reason.
+  std::optional<ShedReason> admit(const std::string& client) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) return ShedReason::kShuttingDown;
+    auto [it, inserted] = inflight_.try_emplace(client, 0);
+    if (it->second >= per_client_cap_) {
+      if (inserted) inflight_.erase(it);
+      return ShedReason::kClientInflight;
+    }
+    if (held_ >= capacity_) {
+      if (inserted) inflight_.erase(it);
+      return ShedReason::kQueueFull;
+    }
+    ++held_;
+    ++it->second;
+    return std::nullopt;
+  }
+
+  /// Frees the slot admit() reserved for `client` (response settled, or
+  /// the enqueue itself failed).
+  void release(const std::string& client) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (held_ > 0) --held_;
+    const auto it = inflight_.find(client);
+    if (it != inflight_.end() && --it->second == 0) inflight_.erase(it);
+    drained_.notify_all();
+  }
+
+  /// Queues admitted work for the executor. The caller must hold a slot.
+  void push(Work work) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(work));
+    }
+    ready_.notify_one();
+  }
+
+  /// Blocks for the next work item; std::nullopt once stop() was called
+  /// AND the queue is empty (the drain guarantee: stop never discards
+  /// admitted work).
+  std::optional<Work> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    Work work = std::move(queue_.front());
+    queue_.pop_front();
+    return work;
+  }
+
+  /// Stops admission (admit() sheds with kShuttingDown). Queued work keeps
+  /// flowing to pop().
+  void begin_drain() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+
+  /// Wakes pop() once the queue empties; pairs with begin_drain().
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  /// Blocks until every held slot was released (all admitted work settled).
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_.wait(lock, [this] { return held_ == 0; });
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t held() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return held_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t per_client_cap_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::condition_variable drained_;
+  std::deque<Work> queue_;
+  std::map<std::string, std::size_t> inflight_;
+  std::size_t held_ = 0;
+  bool draining_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace owl::serve

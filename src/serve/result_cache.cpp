@@ -1,0 +1,184 @@
+#include "serve/result_cache.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "support/sha256.hpp"
+#include "support/strings.hpp"
+
+namespace owl::serve {
+namespace {
+
+/// Reads a whole file; false if it cannot be opened or read.
+bool read_file(const std::string& path, std::string& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  out.clear();
+  char buffer[1 << 16];
+  while (true) {
+    const ssize_t got = ::read(fd, buffer, sizeof buffer);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (got == 0) break;
+    out.append(buffer, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  return true;
+}
+
+/// Writes `data` to a temp file next to `path`, fsyncs, and renames it
+/// into place — the atomic-publish idiom the no-torn-entries invariant
+/// rests on.
+bool write_file_atomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t put =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    written += static_cast<std::size_t>(put);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+constexpr std::string_view kMagic = "owl-cache-v1";
+
+}  // namespace
+
+std::string cache_content_sha(const CacheEntry& entry) {
+  support::Sha256 hash;
+  hash.update(kMagic);
+  hash.update("\n");
+  hash.update(str_format("exit=%d degraded=%d manifest=%zu output=%zu\n",
+                         entry.exit_code, entry.degraded ? 1 : 0,
+                         entry.manifest.size(), entry.output.size()));
+  hash.update(entry.manifest);
+  hash.update(entry.output);
+  return hash.hex_digest();
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) return;
+  ::mkdir(dir_.c_str(), 0755);  // EEXIST is fine; failures surface on use
+  // Sweep temp files a killed writer left behind — they were never
+  // published, so deleting them cannot lose a committed entry.
+  if (DIR* handle = ::opendir(dir_.c_str())) {
+    while (dirent* item = ::readdir(handle)) {
+      const std::string name = item->d_name;
+      if (ends_with(name, ".tmp")) {
+        ::unlink((dir_ + "/" + name).c_str());
+      }
+    }
+    ::closedir(handle);
+  }
+}
+
+std::string ResultCache::key_for(const std::string& module_text,
+                                 const std::string& options_blob) {
+  support::Sha256 hash;
+  hash.update("owl-cache-key-v1\n");
+  hash.update(support::sha256_hex(module_text));
+  hash.update("\n");
+  hash.update(support::sha256_hex(options_blob));
+  hash.update("\n");
+  return hash.hex_digest();
+}
+
+std::string ResultCache::entry_path(const std::string& key) const {
+  return dir_ + "/" + key + ".entry";
+}
+
+bool ResultCache::load(const std::string& key, CacheEntry& out) {
+  if (!enabled()) {
+    ++misses_;
+    return false;
+  }
+  std::string raw;
+  if (!read_file(entry_path(key), raw)) {
+    ++misses_;
+    return false;
+  }
+  const auto corrupt = [&]() {
+    evict(key);
+    ++misses_;
+    return false;
+  };
+  // Header: "owl-cache-v1 <exit> <degraded> <manifest_size> <output_size>
+  // <sha>\n" followed by manifest bytes then output bytes.
+  const std::size_t header_end = raw.find('\n');
+  if (header_end == std::string::npos) return corrupt();
+  const std::vector<std::string> fields =
+      split(raw.substr(0, header_end), ' ');
+  if (fields.size() != 6 || fields[0] != kMagic) return corrupt();
+  std::int64_t exit_code = 0, degraded = 0, manifest_size = 0, output_size = 0;
+  if (!parse_int64(fields[1], exit_code) || !parse_int64(fields[2], degraded) ||
+      !parse_int64(fields[3], manifest_size) ||
+      !parse_int64(fields[4], output_size) || manifest_size < 0 ||
+      output_size < 0 || (degraded != 0 && degraded != 1)) {
+    return corrupt();
+  }
+  const std::size_t body_begin = header_end + 1;
+  const std::size_t expected =
+      body_begin + static_cast<std::size_t>(manifest_size) +
+      static_cast<std::size_t>(output_size);
+  if (raw.size() != expected) return corrupt();
+
+  CacheEntry entry;
+  entry.exit_code = static_cast<int>(exit_code);
+  entry.degraded = degraded != 0;
+  entry.manifest =
+      raw.substr(body_begin, static_cast<std::size_t>(manifest_size));
+  entry.output = raw.substr(body_begin + static_cast<std::size_t>(manifest_size));
+  entry.content_sha = fields[5];
+  if (cache_content_sha(entry) != entry.content_sha) return corrupt();
+  out = std::move(entry);
+  ++hits_;
+  return true;
+}
+
+bool ResultCache::store(const std::string& key, CacheEntry& entry) {
+  entry.content_sha = cache_content_sha(entry);
+  if (!enabled()) return false;
+  std::string raw = str_format(
+      "%s %d %d %zu %zu %s\n", std::string(kMagic).c_str(), entry.exit_code,
+      entry.degraded ? 1 : 0, entry.manifest.size(), entry.output.size(),
+      entry.content_sha.c_str());
+  raw += entry.manifest;
+  raw += entry.output;
+  if (!write_file_atomic(entry_path(key), raw)) return false;
+  ++stores_;
+  return true;
+}
+
+void ResultCache::evict(const std::string& key) {
+  if (!enabled()) return;
+  if (::unlink(entry_path(key).c_str()) == 0) ++evictions_;
+}
+
+}  // namespace owl::serve

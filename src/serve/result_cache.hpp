@@ -1,0 +1,85 @@
+// Content-addressed result cache for the serve layer (DESIGN.md §10).
+//
+// Key = SHA-256 over (module-text SHA, canonical-options SHA): two requests
+// share an entry iff the analyzed bytes and every behavioral option agree.
+// The value is the complete response payload — the owl_cli-identical output
+// bytes, the exit status, the degraded flag, and the environment-stripped
+// run manifest — so a warm hit serves exactly what the cold run produced.
+//
+// Integrity invariants (the "never serve a torn or corrupt entry" half of
+// the crash-recovery story):
+//  - writes are atomic: entry bytes go to a same-directory temp file that
+//    is fsync'd and rename(2)d into place, so a kill -9 leaves either the
+//    old entry, the new entry, or a stale *.tmp (swept on open) — never a
+//    half-written entry under the final name;
+//  - reads verify: the entry embeds a SHA-256 over its manifest + payload
+//    (the manifest hash of the run that produced it); any mismatch — bit
+//    flip, truncation, header damage — evicts the entry (unlink) and
+//    reports a miss, so the daemon recomputes instead of serving bytes it
+//    cannot vouch for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace owl::serve {
+
+/// One cached analysis result.
+struct CacheEntry {
+  int exit_code = 0;
+  bool degraded = false;
+  std::string manifest;  ///< environment-stripped run manifest (JSON)
+  std::string output;    ///< owl_cli-identical stdout bytes
+  /// SHA-256 over (manifest, output, exit, degraded) — computed on write,
+  /// verified on read. Doubles as the response's provenance hash.
+  std::string content_sha;
+};
+
+class ResultCache {
+ public:
+  /// A cache rooted at `dir` ("" disables: every lookup misses, every
+  /// store is dropped). Creates the directory and sweeps stale *.tmp
+  /// files left by a killed writer.
+  explicit ResultCache(std::string dir);
+
+  bool enabled() const noexcept { return !dir_.empty(); }
+
+  /// Derives the content address for one request.
+  static std::string key_for(const std::string& module_text,
+                             const std::string& options_blob);
+
+  /// Loads and verifies the entry for `key`. Returns false on miss; a
+  /// present-but-corrupt entry is evicted (counted separately) and
+  /// reported as a miss.
+  bool load(const std::string& key, CacheEntry& out);
+
+  /// Atomically persists `entry` under `key`, filling entry.content_sha.
+  /// Returns false on I/O failure (the daemon degrades to uncached).
+  bool store(const std::string& key, CacheEntry& entry);
+
+  /// Removes the entry for `key` if present (used by fault injection and
+  /// by load() on integrity failure).
+  void evict(const std::string& key);
+
+  /// Filesystem path that `key`'s entry lives at (tests bit-flip it).
+  std::string entry_path(const std::string& key) const;
+
+  // --- counters (monotonic over the cache's lifetime) ---
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  std::uint64_t stores() const noexcept { return stores_; }
+
+ private:
+  std::string dir_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t stores_ = 0;
+};
+
+/// SHA-256 the cache uses to seal an entry's content; exposed so tests and
+/// the journal replay can recompute it independently.
+std::string cache_content_sha(const CacheEntry& entry);
+
+}  // namespace owl::serve

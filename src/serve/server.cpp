@@ -1,0 +1,203 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/strings.hpp"
+
+namespace owl::serve {
+
+Server::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(ServiceCore& core, std::string socket_path)
+    : core_(core), socket_path_(std::move(socket_path)) {
+  if (::pipe(shutdown_pipe_) != 0) {
+    shutdown_pipe_[0] = shutdown_pipe_[1] = -1;
+  }
+}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(socket_path_.c_str());
+  }
+  for (int fd : shutdown_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+  // Reader threads still running here mean run() was never reached or was
+  // abandoned; join so destruction is safe regardless.
+  for (std::thread& reader : readers_) {
+    if (reader.joinable()) reader.join();
+  }
+}
+
+bool Server::start(std::string& error) {
+  if (socket_path_.empty()) {
+    error = "socket path is empty";
+    return false;
+  }
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(address.sun_path)) {
+    error = "socket path too long: " + socket_path_;
+    return false;
+  }
+  std::memcpy(address.sun_path, socket_path_.c_str(),
+              socket_path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    error = str_format("socket(): %s", std::strerror(errno));
+    return false;
+  }
+  ::unlink(socket_path_.c_str());  // stale socket from a killed daemon
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    error = str_format("bind(%s): %s", socket_path_.c_str(),
+                       std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    error = str_format("listen(%s): %s", socket_path_.c_str(),
+                       std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void Server::request_shutdown() {
+  if (shutdown_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(shutdown_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::write_line(Connection& conn, const std::string& text) {
+  // Serialized per connection: the executor thread delivers analyze
+  // responses while the reader thread answers pings on the same fd.
+  std::lock_guard<std::mutex> lock(conn.write_mutex);
+  std::size_t offset = 0;
+  while (offset < text.size()) {
+    const ssize_t n = ::send(conn.fd, text.data() + offset,
+                             text.size() - offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // EPIPE & friends: the client left; the daemon shrugs
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn,
+                         std::string client_id) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // client closed (or drain() shut the socket down)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.find('\n') == std::string::npos &&
+        buffer.size() > kMaxLineBytes) {
+      write_line(*conn, error_response("", "request line too large"));
+      break;
+    }
+    std::size_t start = 0;
+    std::size_t newline = 0;
+    while ((newline = buffer.find('\n', start)) != std::string::npos) {
+      const std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (line.empty()) continue;
+      const ServiceCore::LineOutcome outcome = core_.handle_line(
+          line, client_id,
+          [conn](const std::string& text) { write_line(*conn, text); });
+      if (outcome == ServiceCore::LineOutcome::kShutdownRequested) {
+        request_shutdown();
+      }
+    }
+    buffer.erase(0, start);
+  }
+}
+
+int Server::run(int wake_fd) {
+  for (;;) {
+    pollfd fds[3];
+    nfds_t count = 0;
+    fds[count++] = {listen_fd_, POLLIN, 0};
+    fds[count++] = {shutdown_pipe_[0], POLLIN, 0};
+    if (wake_fd >= 0) fds[count++] = {wake_fd, POLLIN, 0};
+    const int ready = ::poll(fds, count, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    bool wake = false;
+    for (nfds_t i = 1; i < count; ++i) {
+      if (fds[i].revents != 0) wake = true;
+    }
+    if (wake) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = client_fd;
+    std::string client_id;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      client_id = str_format("conn-%llu",
+                             static_cast<unsigned long long>(next_client_++));
+      connections_.push_back(conn);
+      readers_.emplace_back([this, conn, client_id] {
+        reader_loop(conn, client_id);
+      });
+    }
+  }
+  drain();
+  return 0;
+}
+
+void Server::drain() {
+  // 1. Stop accepting: close the listener and remove the socket so new
+  //    clients fail fast instead of queueing behind a dying daemon.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(socket_path_.c_str());
+  }
+  // 2. Stop admitting: lines still arriving on live connections shed with
+  //    "shutting_down"; everything already admitted keeps its slot.
+  core_.begin_drain();
+  // 3. Drain: blocks until every admitted request's response was handed to
+  //    write_line() and the executor thread exited.
+  core_.shutdown();
+  // 4. Unblock readers (their read() returns 0) and join them.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const std::shared_ptr<Connection>& conn : connections_) {
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& reader : readers_) {
+    if (reader.joinable()) reader.join();
+  }
+}
+
+}  // namespace owl::serve

@@ -1,0 +1,69 @@
+// Unix-domain socket transport for ServiceCore (DESIGN.md §10).
+//
+// One listener, one reader thread per connection, newline-delimited JSON
+// both ways. The transport owns exactly the I/O concerns: framing lines,
+// serializing concurrent writes to one connection (analyze responses come
+// from the executor thread while the reader thread answers pings), EPIPE
+// tolerance (a vanished client never kills the daemon), and the shutdown
+// choreography — on SIGTERM (or a "shutdown" op) the listener closes, the
+// core drains every admitted request to a delivered response, reader
+// threads are unblocked and joined, and run() returns 0.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service_core.hpp"
+
+namespace owl::serve {
+
+/// A request line larger than this is a protocol error (the connection is
+/// answered with a structured error and closed) — bounds reader memory.
+inline constexpr std::size_t kMaxLineBytes = 8u << 20;
+
+class Server {
+ public:
+  Server(ServiceCore& core, std::string socket_path);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens on the socket path (unlinking any stale socket).
+  /// False + `error` on failure.
+  bool start(std::string& error);
+
+  /// Accept loop. Returns 0 after a clean drain. `wake_fd` (may be -1) is
+  /// the caller's shutdown signal — typically the read end of a signal
+  /// self-pipe; one readable byte triggers the drain. A "shutdown" op does
+  /// the same through an internal pipe.
+  int run(int wake_fd);
+
+  /// Thread-safe shutdown trigger (what the "shutdown" op calls).
+  void request_shutdown();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+    ~Connection();
+  };
+
+  void reader_loop(std::shared_ptr<Connection> conn, std::string client_id);
+  static void write_line(Connection& conn, const std::string& text);
+  void drain();
+
+  ServiceCore& core_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  int shutdown_pipe_[2] = {-1, -1};
+
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> readers_;
+  std::uint64_t next_client_ = 0;
+};
+
+}  // namespace owl::serve

@@ -1,0 +1,359 @@
+#include "serve/service_core.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "support/strings.hpp"
+
+namespace owl::serve {
+namespace {
+
+using support::PipelineStage;
+
+/// Flips one payload byte of a stored cache entry in place — the
+/// kCorruptedData(cache-write) effect. The next load must detect the
+/// mismatch against the embedded sha, evict, and recompute.
+void corrupt_entry_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) return;
+  // Flip a byte well past the header so the line "owl-cache-v1 ..." still
+  // parses and the damage is caught by the integrity sha, not by accident.
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  if (size > 0) {
+    const long at = size / 2;
+    std::fseek(file, at, SEEK_SET);
+    const int byte = std::fgetc(file);
+    if (byte != EOF) {
+      std::fseek(file, at, SEEK_SET);
+      std::fputc(byte ^ 0x01, file);
+    }
+  }
+  std::fclose(file);
+}
+
+}  // namespace
+
+ServiceCore::ServiceCore(Config config)
+    : config_(std::move(config)),
+      cache_(config_.cache_dir),
+      journal_(),
+      executor_(config_.pipeline_faults),
+      queue_(config_.queue_depth, config_.max_inflight_per_client) {
+  journal_.open(config_.journal_path);
+}
+
+ServiceCore::~ServiceCore() {
+  if (started_) shutdown();
+}
+
+void ServiceCore::fault_hang(PipelineStage phase) {
+  bool hang = false;
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    hang = config_.service_faults != nullptr &&
+           config_.service_faults->should_hang_at(phase);
+  }
+  if (hang) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kServiceHangMs));
+  }
+}
+
+void ServiceCore::fault_throw(PipelineStage phase) {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  if (config_.service_faults != nullptr) {
+    config_.service_faults->maybe_throw_at(phase);
+  }
+}
+
+bool ServiceCore::fault_corrupt(PipelineStage phase) {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  return config_.service_faults != nullptr &&
+         config_.service_faults->should_corrupt_at(phase);
+}
+
+std::size_t ServiceCore::recover_journal() {
+  std::size_t count = 0;
+  for (const JournalEntry& item : journal_.recover()) {
+    Request request;
+    if (!parse_request(item.request_line, request).is_ok()) continue;
+    if (request.op != Request::Op::kAnalyze || request.module_text.empty()) {
+      continue;
+    }
+    PendingWork work;
+    work.id = request.id;
+    work.client = request.client;
+    work.display_name = request.display_name();
+    work.module_text = request.module_text;
+    work.options = request.options;
+    // The key is recomputed from content, not trusted from the record —
+    // replay settles into the same address a fresh request would hit.
+    work.key = ResultCache::key_for(
+        work.module_text, work.options.canonical_blob(work.display_name));
+    process(std::move(work), /*replay=*/true);
+    ++replayed_;
+    ++count;
+  }
+  // Every survivor is now a verified cache entry (or was unparseable and
+  // owed nothing); start the new incarnation with an empty journal.
+  journal_.reset();
+  journal_pending_.store(0);
+  return count;
+}
+
+void ServiceCore::start() {
+  started_ = true;
+  worker_ = std::thread([this] {
+    while (std::optional<PendingWork> work = queue_.pop()) {
+      process(std::move(*work), /*replay=*/false);
+    }
+  });
+}
+
+ServiceCore::LineOutcome ServiceCore::handle_line(
+    const std::string& line, const std::string& fallback_client,
+    Respond respond) {
+  Request request;
+  if (const Status status = parse_request(line, request); !status.is_ok()) {
+    ++request_errors_;
+    if (respond) respond(error_response(request.id, status.to_string()));
+    return LineOutcome::kContinue;
+  }
+  switch (request.op) {
+    case Request::Op::kPing:
+      if (respond) respond(ping_response());
+      return LineOutcome::kContinue;
+    case Request::Op::kStats:
+      if (respond) respond(stats_response());
+      return LineOutcome::kContinue;
+    case Request::Op::kShutdown:
+      if (respond) {
+        respond("{\"status\":\"ok\",\"shutting_down\":true}\n");
+      }
+      return LineOutcome::kShutdownRequested;
+    case Request::Op::kAnalyze:
+      break;
+  }
+
+  try {
+    fault_hang(PipelineStage::kServeAdmit);
+    fault_throw(PipelineStage::kServeAdmit);
+  } catch (const support::InjectedFault& fault) {
+    ++request_errors_;
+    if (respond) respond(error_response(request.id, fault.what()));
+    return LineOutcome::kContinue;
+  }
+
+  std::string module_text;
+  if (!request.module_path.empty()) {
+    std::string error;
+    if (!read_module_file(request.module_path, module_text, error)) {
+      ++request_errors_;
+      if (!error.empty() && error.back() == '\n') error.pop_back();
+      if (respond) respond(error_response(request.id, error));
+      return LineOutcome::kContinue;
+    }
+  } else {
+    module_text = request.module_text;
+  }
+
+  const std::string client =
+      request.client.empty() ? fallback_client : request.client;
+  if (const std::optional<ShedReason> shed = queue_.admit(client)) {
+    switch (*shed) {
+      case ShedReason::kQueueFull: ++shed_queue_full_; break;
+      case ShedReason::kClientInflight: ++shed_client_inflight_; break;
+      case ShedReason::kShuttingDown: ++shed_shutting_down_; break;
+    }
+    if (respond) {
+      respond(rejected_response(request.id, shed_reason_name(*shed),
+                                config_.retry_after_ms));
+    }
+    return LineOutcome::kContinue;
+  }
+
+  PendingWork work;
+  work.id = request.id;
+  work.client = client;
+  work.display_name = request.display_name();
+  work.module_text = std::move(module_text);
+  work.options = request.options;
+  work.key = ResultCache::key_for(
+      work.module_text, work.options.canonical_blob(work.display_name));
+  work.respond = std::move(respond);
+
+  // Durability point: once the A record is on disk the request is owed a
+  // settled outcome — by this incarnation or, after a hard kill, by the
+  // next one's recover_journal().
+  if (journal_.enabled()) {
+    Request resolved = request;
+    resolved.client = client;
+    resolved.module_text = work.module_text;
+    resolved.name = work.display_name;
+    resolved.module_path.clear();
+    if (journal_.accepted(work.key, serialize_request(resolved))) {
+      ++journal_pending_;
+    }
+  }
+  ++accepted_;
+
+  try {
+    fault_hang(PipelineStage::kServeEnqueue);
+    fault_throw(PipelineStage::kServeEnqueue);
+  } catch (const support::InjectedFault& fault) {
+    ++request_errors_;
+    if (work.respond) {
+      work.respond(error_response(work.id, fault.what()));
+    }
+    settle(work.key, work.client, /*replay=*/false);
+    return LineOutcome::kContinue;
+  }
+  queue_.push(std::move(work));
+  return LineOutcome::kContinue;
+}
+
+void ServiceCore::journal_completed(const std::string& key) {
+  if (!journal_.enabled()) return;
+  if (journal_.completed(key)) {
+    // Saturating: replay/reset can race a decrement only in tests that
+    // drive the core directly; never below zero.
+    std::uint64_t pending = journal_pending_.load();
+    while (pending != 0 &&
+           !journal_pending_.compare_exchange_weak(pending, pending - 1)) {
+    }
+  }
+}
+
+void ServiceCore::settle(const std::string& key, const std::string& client,
+                         bool replay) {
+  journal_completed(key);
+  if (!replay) queue_.release(client);
+}
+
+void ServiceCore::process(PendingWork work, bool replay) {
+  // --- cache read ---
+  try {
+    fault_hang(PipelineStage::kServeCacheRead);
+    if (fault_corrupt(PipelineStage::kServeCacheRead)) {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      cache_.evict(work.key);
+    }
+    fault_throw(PipelineStage::kServeCacheRead);
+  } catch (const support::InjectedFault& fault) {
+    ++request_errors_;
+    if (work.respond) {
+      work.respond(error_response(work.id, fault.what()));
+    }
+    settle(work.key, work.client, replay);
+    return;
+  }
+  CacheEntry entry;
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    hit = cache_.load(work.key, entry);
+  }
+  const std::string_view cache_label =
+      cache_.enabled() ? (hit ? "hit" : "miss") : "off";
+
+  // --- execute on miss ---
+  std::string error_text;
+  if (!hit) {
+    ExecResult exec =
+        executor_.run(work.module_text, work.display_name, work.options);
+    entry.exit_code = exec.exit_code;
+    entry.degraded = exec.degraded;
+    entry.output = std::move(exec.output);
+    entry.manifest = std::move(exec.manifest);
+    entry.content_sha = cache_content_sha(entry);
+    error_text = std::move(exec.error);
+
+    // --- cache write ---
+    // Only clean pipeline runs are cacheable: load/verify failures and
+    // audit exits carry stderr text the entry does not model, and they are
+    // cheap to recompute. A cache-write fault degrades to uncached — the
+    // response below is unaffected.
+    const bool cacheable = exec.ran_pipeline && error_text.empty();
+    try {
+      fault_hang(PipelineStage::kServeCacheWrite);
+      fault_throw(PipelineStage::kServeCacheWrite);
+      if (cacheable) {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        if (cache_.store(work.key, entry) &&
+            fault_corrupt(PipelineStage::kServeCacheWrite)) {
+          corrupt_entry_file(cache_.entry_path(work.key));
+        }
+      }
+    } catch (const support::InjectedFault&) {
+      // Degraded to uncached; deliberately not an error.
+    }
+  }
+
+  // --- respond ---
+  try {
+    fault_hang(PipelineStage::kServeRespond);
+    fault_throw(PipelineStage::kServeRespond);
+  } catch (const support::InjectedFault&) {
+    // To the client this is a daemon death mid-reply. Withhold the C
+    // record: the next incarnation's recover_journal() owes them a warm,
+    // byte-identical retry.
+    ++dropped_responses_;
+    if (!replay) queue_.release(work.client);
+    return;
+  }
+  if (work.respond) {
+    work.respond(ok_response(work.id, cache_label, entry.exit_code,
+                             entry.degraded, entry.content_sha, entry.output,
+                             error_text));
+  }
+  ++completed_;
+  settle(work.key, work.client, replay);
+}
+
+void ServiceCore::begin_drain() { queue_.begin_drain(); }
+
+void ServiceCore::shutdown() {
+  begin_drain();
+  queue_.wait_idle();  // every admitted request settled
+  queue_.stop();
+  if (worker_.joinable()) worker_.join();
+  started_ = false;
+  // A dropped response (respond fault) keeps its A record for the next
+  // boot; otherwise the clean drain leaves nothing owed.
+  if (journal_pending_.load() == 0) journal_.reset();
+}
+
+std::string ServiceCore::stats_response() const {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t stores = 0;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    hits = cache_.hits();
+    misses = cache_.misses();
+    evictions = cache_.evictions();
+    stores = cache_.stores();
+  }
+  const auto u = [](std::uint64_t value) {
+    return static_cast<unsigned long long>(value);
+  };
+  return str_format(
+      "{\"status\":\"ok\",\"stats\":{"
+      "\"accepted\":%llu,\"completed\":%llu,"
+      "\"shed\":{\"queue_full\":%llu,\"client_inflight\":%llu,"
+      "\"shutting_down\":%llu},"
+      "\"errors\":%llu,\"dropped_responses\":%llu,\"replayed\":%llu,"
+      "\"cache\":{\"enabled\":%s,\"hits\":%llu,\"misses\":%llu,"
+      "\"evictions\":%llu,\"stores\":%llu},"
+      "\"queue\":{\"capacity\":%zu,\"held\":%zu},"
+      "\"journal\":{\"enabled\":%s,\"pending\":%llu}}}\n",
+      u(accepted_.load()), u(completed_.load()), u(shed_queue_full_.load()),
+      u(shed_client_inflight_.load()), u(shed_shutting_down_.load()),
+      u(request_errors_.load()), u(dropped_responses_.load()),
+      u(replayed_.load()), cache_.enabled() ? "true" : "false", u(hits),
+      u(misses), u(evictions), u(stores), queue_.capacity(), queue_.held(),
+      journal_.enabled() ? "true" : "false", u(journal_pending_.load()));
+}
+
+}  // namespace owl::serve

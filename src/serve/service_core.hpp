@@ -1,0 +1,170 @@
+// Transport-agnostic heart of owl_served (DESIGN.md §10): one object that
+// owns the four robustness layers and exposes exactly two entry points —
+// handle_line() for reader threads and the executor loop it runs itself.
+//
+// Request lifecycle (the five service phases fault injection can probe):
+//
+//   reader thread                          executor thread
+//   -------------                          ---------------
+//   parse -> [admit] admission check
+//         -> resolve module bytes
+//         -> journal A   (durability
+//            point: accepted)
+//         -> [enqueue] push ------------>  pop
+//                                          [cache-read]  lookup/verify
+//                                          miss: Executor::run
+//                                          [cache-write] atomic store
+//                                          [respond]     response line
+//                                          journal C     (settled)
+//                                          release admission slot
+//
+// Failure semantics per phase (all injectable, all leave the daemon
+// serving):
+//  - admit/enqueue throw  -> structured "error" response; slot released,
+//    journal settled — the request dies cleanly at the edge;
+//  - cache-read throw     -> "error" response (the entry could not be
+//    trusted and the daemon chose not to guess);
+//  - cache-read corrupt   -> the entry is evicted first, forcing the
+//    verify-evict-recompute path the integrity tests assert;
+//  - cache-write throw    -> the response is served uncached — a broken
+//    cache degrades throughput, never correctness;
+//  - cache-write corrupt  -> the stored entry is bit-flipped on disk, so
+//    the NEXT read must detect, evict, and recompute;
+//  - respond throw        -> the response is dropped and the journal C is
+//    deliberately withheld: to the client this is a daemon crash mid-reply,
+//    and restart-replay must make the result available warm;
+//  - stall at any phase   -> a bounded hang (kServiceHangMs) — the
+//    deterministic window the crash-recovery test kill -9s into.
+//
+// Execution is intentionally serialized on one executor thread: the
+// analysis pipeline reads process globals (MetricsRegistry) that
+// Executor::run resets per request, so serial execution is what makes every
+// response byte-identical to a fresh owl_cli process (see executor.hpp).
+// Concurrency lives at the edges — many reader threads feed the bounded
+// queue, and warm cache hits, though served from the same loop, cost
+// microseconds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/executor.hpp"
+#include "serve/journal.hpp"
+#include "serve/protocol.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/result_cache.hpp"
+#include "support/fault_injector.hpp"
+
+namespace owl::serve {
+
+/// Bounded sleep for an injected service-phase stall (milliseconds) — long
+/// enough for a test to kill -9 into the window, short enough that a stray
+/// plan cannot wedge CI.
+inline constexpr unsigned kServiceHangMs = 2000;
+
+class ServiceCore {
+ public:
+  /// Delivers one response line to whoever owns the connection. May be
+  /// invoked from the reader thread (rejections, errors, pings) or the
+  /// executor thread (analyze responses); the transport serializes its own
+  /// writes. An empty function is valid (journal replay answers nobody).
+  using Respond = std::function<void(const std::string&)>;
+
+  struct Config {
+    std::string cache_dir;       ///< "" = result cache off
+    std::string journal_path;    ///< "" = crash-recovery journal off
+    std::size_t queue_depth = 32;
+    std::size_t max_inflight_per_client = 8;
+    unsigned retry_after_ms = 100;  ///< hint echoed in rejections
+    /// Service-phase fault injection (not owned; probes are serialized
+    /// behind an internal mutex). nullptr = no injection.
+    support::FaultInjector* service_faults = nullptr;
+    /// Pipeline-stage fault injection forwarded into every Executor::run
+    /// (not owned) — the daemon twin of owl_cli --inject-fault detect:...
+    support::FaultInjector* pipeline_faults = nullptr;
+  };
+
+  /// What the transport should do after a handled line.
+  enum class LineOutcome { kContinue, kShutdownRequested };
+
+  explicit ServiceCore(Config config);
+  ~ServiceCore();
+
+  /// Replays accepted-but-unsettled journal entries from a previous
+  /// incarnation into the result cache (synchronously; call before
+  /// start()). Returns the number of requests replayed. Resets the journal
+  /// afterwards — every survivor is settled into a verified cache entry.
+  std::size_t recover_journal();
+
+  /// Starts the executor thread. Call once, after recover_journal().
+  void start();
+
+  /// Handles one protocol line from `fallback_client`'s connection (used
+  /// as the admission identity when the request names no "client").
+  /// Thread-safe; called concurrently by reader threads.
+  LineOutcome handle_line(const std::string& line,
+                          const std::string& fallback_client,
+                          Respond respond);
+
+  /// Stops admitting (new analyzes shed with "shutting_down"); already
+  /// accepted work keeps flowing.
+  void begin_drain();
+
+  /// Drains: blocks until every admitted request is settled, then stops
+  /// the executor thread. The journal is reset iff nothing is left
+  /// unsettled (a dropped response keeps its A record for the next boot).
+  void shutdown();
+
+  /// Counters snapshot as a one-line JSON response (the "stats" op).
+  std::string stats_response() const;
+
+  std::uint64_t replayed() const noexcept { return replayed_.load(); }
+
+ private:
+  struct PendingWork {
+    std::string id;
+    std::string client;
+    std::string display_name;
+    std::string module_text;
+    std::string key;
+    AnalysisOptions options;
+    Respond respond;
+  };
+
+  void process(PendingWork work, bool replay);
+  void settle(const std::string& key, const std::string& client, bool replay);
+  void journal_completed(const std::string& key);
+
+  // Service-phase fault probes (serialized: reader threads and the
+  // executor thread share one injector).
+  void fault_hang(support::PipelineStage phase);
+  void fault_throw(support::PipelineStage phase);
+  bool fault_corrupt(support::PipelineStage phase);
+
+  Config config_;
+  ResultCache cache_;
+  Journal journal_;
+  Executor executor_;
+  RequestQueue<PendingWork> queue_;
+  std::thread worker_;
+  bool started_ = false;
+
+  std::mutex fault_mutex_;          ///< serializes service injector probes
+  mutable std::mutex cache_mutex_;  ///< cache ops vs. stats snapshots
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> shed_queue_full_{0};
+  std::atomic<std::uint64_t> shed_client_inflight_{0};
+  std::atomic<std::uint64_t> shed_shutting_down_{0};
+  std::atomic<std::uint64_t> request_errors_{0};
+  std::atomic<std::uint64_t> dropped_responses_{0};
+  std::atomic<std::uint64_t> replayed_{0};
+  std::atomic<std::uint64_t> journal_pending_{0};
+};
+
+}  // namespace owl::serve

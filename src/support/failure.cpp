@@ -10,6 +10,11 @@ std::string_view pipeline_stage_name(PipelineStage stage) noexcept {
     case PipelineStage::kVulnAnalysis: return "vuln-analysis";
     case PipelineStage::kVulnVerification: return "vuln-verification";
     case PipelineStage::kDriver: return "driver";
+    case PipelineStage::kServeAdmit: return "serve-admit";
+    case PipelineStage::kServeEnqueue: return "serve-enqueue";
+    case PipelineStage::kServeCacheRead: return "serve-cache-read";
+    case PipelineStage::kServeCacheWrite: return "serve-cache-write";
+    case PipelineStage::kServeRespond: return "serve-respond";
   }
   return "?";
 }

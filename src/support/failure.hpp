@@ -16,7 +16,11 @@
 namespace owl::support {
 
 /// The Fig. 3 pipeline stages, as the resilience layer accounts for them.
-/// (core::Stage labels report *snapshots*; this labels *work*.)
+/// (core::Stage labels report *snapshots*; this labels *work*.) The kServe*
+/// entries are the service-layer request phases of owl_served (DESIGN.md
+/// §10) — not analysis stages, but they share this enum so FaultPlans,
+/// FailureRecords, and the injection harness cover the daemon's own code
+/// paths with the same machinery that covers the pipeline's.
 enum class PipelineStage {
   kDetection,         ///< step (1): raw detection runs
   kAnnotation,        ///< step (2): adhoc-sync classification + re-run
@@ -24,6 +28,11 @@ enum class PipelineStage {
   kVulnAnalysis,      ///< step (4): static vulnerability analysis
   kVulnVerification,  ///< step (5): dynamic vulnerability verifier
   kDriver,            ///< multi-target driver wrapper (catastrophic catch)
+  kServeAdmit,        ///< owl_served: admission control decision
+  kServeEnqueue,      ///< owl_served: bounded-queue insertion
+  kServeCacheRead,    ///< owl_served: result-cache lookup + integrity check
+  kServeCacheWrite,   ///< owl_served: result-cache entry write
+  kServeRespond,      ///< owl_served: response write to the client
 };
 
 std::string_view pipeline_stage_name(PipelineStage stage) noexcept;

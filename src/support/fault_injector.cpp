@@ -10,8 +10,69 @@ std::string_view fault_kind_name(FaultKind kind) noexcept {
     case FaultKind::kBreakpointLivelock: return "breakpoint-livelock";
     case FaultKind::kStageException: return "stage-exception";
     case FaultKind::kTruncatedEvents: return "truncated-events";
+    case FaultKind::kCorruptedData: return "corrupted-data";
   }
   return "?";
+}
+
+bool is_service_phase(PipelineStage stage) noexcept {
+  switch (stage) {
+    case PipelineStage::kServeAdmit:
+    case PipelineStage::kServeEnqueue:
+    case PipelineStage::kServeCacheRead:
+    case PipelineStage::kServeCacheWrite:
+    case PipelineStage::kServeRespond:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool parse_fault_plan(std::string_view text, FaultPlan& plan) {
+  const std::vector<std::string> parts = split(text, ':');
+  if (parts.size() < 2 || parts.size() > 3) return false;
+  if (parts[0] == "detect") {
+    plan.stage = PipelineStage::kDetection;
+  } else if (parts[0] == "annotate") {
+    plan.stage = PipelineStage::kAnnotation;
+  } else if (parts[0] == "race-verify") {
+    plan.stage = PipelineStage::kRaceVerification;
+  } else if (parts[0] == "vuln-analyze") {
+    plan.stage = PipelineStage::kVulnAnalysis;
+  } else if (parts[0] == "vuln-verify") {
+    plan.stage = PipelineStage::kVulnVerification;
+  } else if (parts[0] == "admit") {
+    plan.stage = PipelineStage::kServeAdmit;
+  } else if (parts[0] == "enqueue") {
+    plan.stage = PipelineStage::kServeEnqueue;
+  } else if (parts[0] == "cache-read") {
+    plan.stage = PipelineStage::kServeCacheRead;
+  } else if (parts[0] == "cache-write") {
+    plan.stage = PipelineStage::kServeCacheWrite;
+  } else if (parts[0] == "respond") {
+    plan.stage = PipelineStage::kServeRespond;
+  } else {
+    return false;
+  }
+  if (parts[1] == "stall") {
+    plan.kind = FaultKind::kSchedulerStall;
+  } else if (parts[1] == "livelock") {
+    plan.kind = FaultKind::kBreakpointLivelock;
+  } else if (parts[1] == "throw") {
+    plan.kind = FaultKind::kStageException;
+  } else if (parts[1] == "truncate") {
+    plan.kind = FaultKind::kTruncatedEvents;
+  } else if (parts[1] == "corrupt") {
+    plan.kind = FaultKind::kCorruptedData;
+  } else {
+    return false;
+  }
+  if (parts.size() == 3) {
+    std::int64_t after = 0;
+    if (!parse_int64(parts[2], after) || after < 0) return false;
+    plan.after = static_cast<std::uint64_t>(after);
+  }
+  return true;
 }
 
 FaultInjector FaultInjector::fork() const {
@@ -73,6 +134,25 @@ bool FaultInjector::probe(FaultKind kind) {
     fire = true;
   }
   return fire;
+}
+
+bool FaultInjector::probe_at(PipelineStage phase, FaultKind kind) {
+  // Swap the phase in for the duration of one probe. Counters are shared
+  // with the ambient context on purpose (see the header): a service
+  // injector is dedicated to service plans, so nothing else resets them.
+  const PipelineStage saved = stage_;
+  stage_ = phase;
+  const bool fired = probe(kind);
+  stage_ = saved;
+  return fired;
+}
+
+void FaultInjector::maybe_throw_at(PipelineStage phase) {
+  if (probe_at(phase, FaultKind::kStageException)) {
+    throw InjectedFault(str_format(
+        "injected exception in %s",
+        std::string(pipeline_stage_name(phase)).c_str()));
+  }
 }
 
 void FaultInjector::maybe_throw() {

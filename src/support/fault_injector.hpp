@@ -39,6 +39,11 @@ enum class FaultKind {
   kBreakpointLivelock,
   kStageException,
   kTruncatedEvents,
+  /// Service layer (owl_served): the probed phase hands out or persists
+  /// corrupted bytes — a cache entry bit-flipped on write, or an entry
+  /// declared unreadable on read. Exercises the integrity-verify/evict/
+  /// recompute path without hand-editing files on disk.
+  kCorruptedData,
 };
 
 std::string_view fault_kind_name(FaultKind kind) noexcept;
@@ -62,6 +67,17 @@ struct FaultPlan {
   /// percentage (100 = always). Deterministic per injector seed.
   unsigned probability_percent = 100;
 };
+
+/// Parses the CLI fault spec shared by owl_cli and owl_served:
+/// "stage:kind[:after]" with stage in detect|annotate|race-verify|
+/// vuln-analyze|vuln-verify (pipeline) or admit|enqueue|cache-read|
+/// cache-write|respond (service phases) and kind in stall|livelock|throw|
+/// truncate|corrupt; `after` skips the first N matching probes. Returns
+/// false on malformed specs.
+bool parse_fault_plan(std::string_view text, FaultPlan& plan);
+
+/// True for the owl_served request-lifecycle phases (kServe*).
+bool is_service_phase(PipelineStage stage) noexcept;
 
 /// First firing of a plan within one (target, stage) context.
 struct InjectionEvent {
@@ -110,6 +126,30 @@ class FaultInjector {
   bool truncate_events() { return probe(FaultKind::kTruncatedEvents); }
   /// Stage entry: throws InjectedFault when a kStageException plan fires.
   void maybe_throw();
+
+  // --- service-phase probes (owl_served request lifecycle) ---
+  // Unlike the pipeline probes above, these name their phase explicitly:
+  // service phases interleave per request rather than nesting per target,
+  // so there is no driver pushing begin_stage() context around them. The
+  // probe runs with the injector's stage temporarily set to `phase` (probe
+  // counters are NOT reset — `after` counts probes across the daemon's
+  // lifetime, which is what makes "fail the 3rd request's cache write"
+  // expressible). Callers serialize access (the server wraps its service
+  // injector in a mutex; see serve::ServiceCore).
+  /// Throws InjectedFault when a kStageException plan matches `phase`.
+  void maybe_throw_at(PipelineStage phase);
+  /// True when a kCorruptedData plan matches `phase` (cache read/write).
+  bool should_corrupt_at(PipelineStage phase) {
+    return probe_at(phase, FaultKind::kCorruptedData);
+  }
+  /// True when a kSchedulerStall plan matches `phase`; the server maps it
+  /// to a bounded hang — the deterministic window the crash-recovery tests
+  /// kill -9 into.
+  bool should_hang_at(PipelineStage phase) {
+    return probe_at(phase, FaultKind::kSchedulerStall);
+  }
+  /// Generic phase-scoped probe backing the helpers above.
+  bool probe_at(PipelineStage phase, FaultKind kind);
 
   // --- accounting ---
   /// First-fire-per-context log (bounded: one entry per plan per context).

@@ -1,0 +1,50 @@
+// SHA-256 (FIPS 180-4) — the content-address primitive for the serve
+// layer's result cache and journal (DESIGN.md §10).
+//
+// Why a cryptographic hash and not the cheap mixers used elsewhere: cache
+// keys are derived from (module text, options blob) and the same digest
+// doubles as the on-disk integrity check for cache entries. A collision or
+// a silent corruption must not cause the daemon to serve the wrong (or a
+// torn) analysis result, so the hash has to make both events negligible,
+// not merely rare. The implementation is self-contained (no OpenSSL — the
+// container rule is "no new deps") and unit-tested against the FIPS test
+// vectors in tests/serve_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace owl::support {
+
+/// Incremental SHA-256. Typical use:
+///   Sha256 h; h.update(a); h.update(b); std::string hex = h.hex_digest();
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const void* data, std::size_t size);
+  void update(std::string_view text) { update(text.data(), text.size()); }
+
+  /// Finalizes and returns the 32-byte digest. The object must be reset()
+  /// before further use.
+  std::array<std::uint8_t, 32> digest();
+
+  /// Finalizes and returns the digest as 64 lowercase hex characters.
+  std::string hex_digest();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+};
+
+/// One-shot convenience: lowercase hex SHA-256 of `text`.
+std::string sha256_hex(std::string_view text);
+
+}  // namespace owl::support

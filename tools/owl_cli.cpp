@@ -63,6 +63,7 @@
 #include <sstream>
 
 #include "core/pipeline.hpp"
+#include "core/render.hpp"
 #include "interp/machine.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
@@ -122,40 +123,12 @@ void usage() {
                "       [--metrics-out FILE]\n");
 }
 
-/// Parses "stage:kind[:after]" into a FaultPlan (see header comment).
+/// Parses "stage:kind[:after]" into a FaultPlan via the shared parser
+/// (support::parse_fault_plan — also used by owl_served); owl_cli rejects
+/// the service phases, which only exist in the daemon's request lifecycle.
 bool parse_fault_spec(const char* text, support::FaultPlan& plan) {
-  const std::vector<std::string> parts = split(text, ':');
-  if (parts.size() < 2 || parts.size() > 3) return false;
-  if (parts[0] == "detect") {
-    plan.stage = support::PipelineStage::kDetection;
-  } else if (parts[0] == "annotate") {
-    plan.stage = support::PipelineStage::kAnnotation;
-  } else if (parts[0] == "race-verify") {
-    plan.stage = support::PipelineStage::kRaceVerification;
-  } else if (parts[0] == "vuln-analyze") {
-    plan.stage = support::PipelineStage::kVulnAnalysis;
-  } else if (parts[0] == "vuln-verify") {
-    plan.stage = support::PipelineStage::kVulnVerification;
-  } else {
-    return false;
-  }
-  if (parts[1] == "stall") {
-    plan.kind = support::FaultKind::kSchedulerStall;
-  } else if (parts[1] == "livelock") {
-    plan.kind = support::FaultKind::kBreakpointLivelock;
-  } else if (parts[1] == "throw") {
-    plan.kind = support::FaultKind::kStageException;
-  } else if (parts[1] == "truncate") {
-    plan.kind = support::FaultKind::kTruncatedEvents;
-  } else {
-    return false;
-  }
-  if (parts.size() == 3) {
-    std::int64_t after = 0;
-    if (!parse_int64(parts[2], after) || after < 0) return false;
-    plan.after = static_cast<std::uint64_t>(after);
-  }
-  return true;
+  return support::parse_fault_plan(text, plan) &&
+         !support::is_service_phase(plan.stage);
 }
 
 bool parse_word_list(const char* text, std::vector<interp::Word>& out) {
@@ -414,49 +387,16 @@ int main(int argc, char** argv) {
   std::vector<core::PipelineResult> results =
       core::Pipeline(pipeline_options).run_many(targets);
 
+  // Rendering is shared with the serve layer (core/render.hpp) so
+  // owl_served responses stay byte-identical to this output.
   for (const core::PipelineResult& result : results) {
-    std::printf("owl_cli: %s\n", result.target_name.c_str());
-    std::printf("  raw race reports:      %zu\n", result.counts.raw_reports);
-    std::printf("  adhoc syncs annotated: %zu\n", result.counts.adhoc_syncs);
-    std::printf("  verifier eliminated:   %zu\n",
-                result.counts.verifier_eliminated);
-    std::printf("  verified races:        %zu\n", result.counts.remaining);
-    std::printf("  vulnerability reports: %zu\n",
-                result.counts.vulnerability_reports);
-    std::printf("  attacks (site reached/realized): %zu/%zu\n",
-                result.attacks.size(), result.confirmed_attacks());
-    std::printf("  resilience:            %s\n",
-                result.counts.resilience_summary().c_str());
-    if (result.degraded()) {
-      for (const support::FailureRecord& record : result.counts.failures) {
-        std::printf("    %s\n", record.to_string().c_str());
-      }
-    }
+    std::fputs(core::render_cli_summary(result).c_str(), stdout);
   }
   for (const core::PipelineResult& result : results) {
     if (options.quiet) break;
-    if (options.print_reports) {
-      std::printf("\n--- verified races (%s) ---\n",
-                  result.target_name.c_str());
-      for (const race::RaceReport& report :
-           result.store.stage(core::Stage::kAfterRaceVerifier)) {
-        std::fputs(report.to_string().c_str(), stdout);
-        std::printf("\n");
-      }
-    }
-    if (!result.exploits.empty()) {
-      std::printf("\n--- vulnerable input hints (%s) ---\n",
-                  result.target_name.c_str());
-      for (const vuln::ExploitReport& exploit : result.exploits) {
-        std::fputs(vuln::render_hint(exploit).c_str(), stdout);
-      }
-    }
-    if (!result.attacks.empty()) {
-      std::printf("\n--- attacks (%s) ---\n", result.target_name.c_str());
-      for (const core::ConcurrencyAttack& attack : result.attacks) {
-        std::fputs(attack.to_string().c_str(), stdout);
-      }
-    }
+    std::fputs(
+        core::render_cli_details(result, options.print_reports).c_str(),
+        stdout);
   }
   if (options.timings) {
     std::printf("\n--- per-stage timings (jobs=%u) ---\n", jobs);
