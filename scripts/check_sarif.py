@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Structurally validate an OWL SARIF 2.1.0 log (checkers/sarif.cpp).
+
+Hand-rolled on purpose: CI containers only carry the Python stdlib, so
+this checks the SARIF shape OWL promises without a jsonschema dependency:
+
+  - top level: $schema names sarif-2.1.0, version == "2.1.0", exactly
+    one run
+  - tool.driver.name == "owl" with the full 7-entry rule table from
+    checkers/rule registry order (OWL-DL-001 first, OWL-CV-002 last),
+    unique ids, nonempty name/shortDescription
+  - every result: ruleId present in the table, ruleIndex agreeing with
+    the table position, level in {error, warning, note}, nonempty
+    message.text, locations with artifactLocation.uri (+ startLine >= 1
+    when a region is present), properties.target naming the input
+
+Usage:
+    check_sarif.py LOG.sarif                      # shape only
+    check_sarif.py LOG.sarif --expect OWL-DL-001=1 --expect OWL-AV-001=1
+    check_sarif.py LOG.sarif --expect-total 4
+
+--expect RULE=N pins the exact result count for one rule id (rules not
+pinned are unconstrained); --expect-total pins the overall result count.
+Exit 0 iff every check passes. Used by scripts/ci.sh's differential
+stage to gate the checker-suite sweep over examples/ir.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+EXPECTED_RULE_IDS = [
+    "OWL-DL-001",
+    "OWL-AV-001",
+    "OWL-LM-001",
+    "OWL-LM-002",
+    "OWL-LM-003",
+    "OWL-CV-001",
+    "OWL-CV-002",
+]
+LEVELS = {"error", "warning", "note"}
+
+
+def fail(msg):
+    sys.exit(f"check_sarif.py: {msg}")
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_rules(driver):
+    rules = driver.get("rules")
+    require(isinstance(rules, list), "driver.rules is not an array")
+    ids = [r.get("id") for r in rules]
+    require(
+        ids == EXPECTED_RULE_IDS,
+        f"rule table mismatch: got {ids}, want {EXPECTED_RULE_IDS}",
+    )
+    for rule in rules:
+        rid = rule["id"]
+        require(rule.get("name"), f"rule {rid}: empty name")
+        desc = rule.get("shortDescription", {})
+        require(
+            isinstance(desc, dict) and desc.get("text"),
+            f"rule {rid}: empty shortDescription.text",
+        )
+    return {rid: i for i, rid in enumerate(ids)}
+
+
+def check_location(res_label, loc):
+    phys = loc.get("physicalLocation")
+    require(isinstance(phys, dict), f"{res_label}: location lacks physicalLocation")
+    art = phys.get("artifactLocation", {})
+    require(art.get("uri"), f"{res_label}: location lacks artifactLocation.uri")
+    region = phys.get("region")
+    if region is not None:
+        line = region.get("startLine")
+        require(
+            isinstance(line, int) and line >= 1,
+            f"{res_label}: region.startLine must be a positive int, got {line!r}",
+        )
+
+
+def check_result(i, result, rule_index):
+    label = f"results[{i}]"
+    rid = result.get("ruleId")
+    require(rid in rule_index, f"{label}: ruleId {rid!r} not in the rule table")
+    require(
+        result.get("ruleIndex") == rule_index[rid],
+        f"{label}: ruleIndex {result.get('ruleIndex')!r} disagrees with "
+        f"the table position {rule_index[rid]} of {rid}",
+    )
+    require(
+        result.get("level") in LEVELS,
+        f"{label}: level {result.get('level')!r} not in {sorted(LEVELS)}",
+    )
+    message = result.get("message", {})
+    require(
+        isinstance(message, dict) and message.get("text"),
+        f"{label}: empty message.text",
+    )
+    locations = result.get("locations")
+    require(
+        isinstance(locations, list) and len(locations) >= 1,
+        f"{label}: needs at least one location",
+    )
+    for loc in locations + result.get("relatedLocations", []):
+        check_location(label, loc)
+    props = result.get("properties", {})
+    require(props.get("target"), f"{label}: properties.target missing")
+    return rid
+
+
+def parse_expect(spec):
+    rule, sep, count = spec.partition("=")
+    if not sep or rule not in EXPECTED_RULE_IDS or not count.isdigit():
+        fail(f"bad --expect {spec!r} (want RULE-ID=N with a known rule id)")
+    return rule, int(count)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("log", help="SARIF log file to validate")
+    parser.add_argument(
+        "--expect",
+        action="append",
+        default=[],
+        metavar="RULE=N",
+        help="require exactly N results for this rule id",
+    )
+    parser.add_argument(
+        "--expect-total",
+        type=int,
+        default=None,
+        metavar="N",
+        help="require exactly N results overall",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.log, "r", encoding="utf-8") as f:
+            log = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot read {args.log}: {err}")
+
+    require(isinstance(log, dict), "top level is not a JSON object")
+    require(
+        "sarif-2.1.0" in log.get("$schema", ""),
+        f"$schema {log.get('$schema')!r} does not name sarif-2.1.0",
+    )
+    require(
+        log.get("version") == "2.1.0",
+        f"version {log.get('version')!r} != '2.1.0'",
+    )
+    runs = log.get("runs")
+    require(
+        isinstance(runs, list) and len(runs) == 1,
+        "expected exactly one run",
+    )
+    driver = runs[0].get("tool", {}).get("driver", {})
+    require(driver.get("name") == "owl", f"driver.name {driver.get('name')!r} != 'owl'")
+    rule_index = check_rules(driver)
+
+    results = runs[0].get("results")
+    require(isinstance(results, list), "run.results is not an array")
+    counts = collections.Counter(
+        check_result(i, r, rule_index) for i, r in enumerate(results)
+    )
+
+    for spec in args.expect:
+        rule, want = parse_expect(spec)
+        got = counts.get(rule, 0)
+        require(got == want, f"expected {want} result(s) for {rule}, got {got}")
+    if args.expect_total is not None:
+        require(
+            len(results) == args.expect_total,
+            f"expected {args.expect_total} result(s) total, got {len(results)}",
+        )
+
+    print(
+        f"check_sarif.py: OK: {args.log}: {len(results)} result(s), "
+        f"{len(rule_index)} rules"
+    )
+
+
+if __name__ == "__main__":
+    main()

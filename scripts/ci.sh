@@ -198,6 +198,65 @@ if violations != 0:
     raise SystemExit(f"ci.sh: prescreen audit counted {violations} violations")
 EOF
 
+  # Checker-suite gate (DESIGN.md §11), three promises:
+  #   (a) --checkers off is byte-identical to not passing the flag at all
+  #       (the baseline outputs above ran without it);
+  #   (b) each planted exploit example trips exactly its one rule and the
+  #       clean examples trip nothing (scripts/check_sarif.py also does
+  #       the SARIF 2.1.0 structural validation);
+  #   (c) reports and the SARIF log are byte-identical across jobs=1/4
+  #       and across repeat runs.
+  current_step="checker suite off-mode byte-identity"
+  ./build/tools/owl_cli --jobs 1 --print-reports --detector-impl fast \
+    --checkers off "${examples[@]}" > build/out-check-off.txt
+  diff -u build/out-fast-j1.txt build/out-check-off.txt \
+    || { echo "ci.sh: --checkers off changed the reports" >&2; exit 1; }
+
+  current_step="checker suite jobs=1 vs jobs=4 differential + SARIF"
+  for j in 1 4; do
+    ./build/tools/owl_cli --jobs "$j" --print-reports --detector-impl fast \
+      --checkers all --sarif-out "build/checkers-j$j.sarif" \
+      "${examples[@]}" > "build/out-check-on-j$j.txt"
+  done
+  diff -u build/out-check-on-j1.txt build/out-check-on-j4.txt \
+    || { echo "ci.sh: jobs=4 checker reports diverged from jobs=1" >&2
+         exit 1; }
+  cmp build/checkers-j1.sarif build/checkers-j4.sarif \
+    || { echo "ci.sh: jobs=4 SARIF diverged from jobs=1" >&2; exit 1; }
+  ./build/tools/owl_cli --jobs 4 -q --checkers all \
+    --sarif-out build/checkers-repeat.sarif "${examples[@]}" > /dev/null
+  cmp build/checkers-j4.sarif build/checkers-repeat.sarif \
+    || { echo "ci.sh: repeat run produced a different SARIF log" >&2
+         exit 1; }
+  python3 scripts/check_sarif.py build/checkers-j1.sarif \
+    --expect OWL-DL-001=1 --expect OWL-AV-001=1 --expect OWL-LM-001=1 \
+    --expect OWL-CV-001=1 --expect-total 4
+
+  current_step="checker planted-exploit sweep"
+  planted="lock_cycle atomicity_split double_unlock cv_missed_wakeup"
+  for spec in lock_cycle=OWL-DL-001 atomicity_split=OWL-AV-001 \
+              double_unlock=OWL-LM-001 cv_missed_wakeup=OWL-CV-001; do
+    stem="${spec%%=*}"
+    rule="${spec##*=}"
+    ./build/tools/owl_cli --jobs 1 -q --checkers all \
+      --sarif-out "build/checkers-$stem.sarif" \
+      "examples/ir/$stem.mir" > /dev/null
+    python3 scripts/check_sarif.py "build/checkers-$stem.sarif" \
+      --expect "$rule=1" --expect-total 1 \
+      || { echo "ci.sh: $stem.mir did not trip exactly one $rule" >&2
+           exit 1; }
+  done
+  for example in "${examples[@]}"; do
+    stem="$(basename "$example" .mir)"
+    case " $planted " in *" $stem "*) continue ;; esac
+    ./build/tools/owl_cli --jobs 1 -q --checkers all \
+      --sarif-out build/checkers-clean.sarif "$example" > /dev/null
+    python3 scripts/check_sarif.py build/checkers-clean.sarif \
+      --expect-total 0 \
+      || { echo "ci.sh: checkers reported a finding on clean $stem.mir" >&2
+           exit 1; }
+  done
+
   # Repeat-run determinism: two identical invocations must produce
   # byte-identical manifests (minus environment) and metric snapshots.
   current_step="repeat-run manifest/metrics determinism"

@@ -1,7 +1,6 @@
 #include "analysis/prescreen.hpp"
 
 #include <algorithm>
-#include <optional>
 
 #include "ir/instruction.hpp"
 
@@ -45,18 +44,6 @@ EventPointers event_pointers(const ir::Instruction& instr) {
   return out;
 }
 
-void insert_sorted(std::vector<PointsTo::ObjectId>& set,
-                   PointsTo::ObjectId v) {
-  auto it = std::lower_bound(set.begin(), set.end(), v);
-  if (it == set.end() || *it != v) set.insert(it, v);
-}
-
-void erase_sorted(std::vector<PointsTo::ObjectId>& set,
-                  PointsTo::ObjectId v) {
-  auto it = std::lower_bound(set.begin(), set.end(), v);
-  if (it != set.end() && *it == v) set.erase(it);
-}
-
 std::vector<PointsTo::ObjectId> intersect_sorted(
     const std::vector<PointsTo::ObjectId>& a,
     const std::vector<PointsTo::ObjectId>& b) {
@@ -70,16 +57,31 @@ std::vector<PointsTo::ObjectId> intersect_sorted(
 
 Prescreen::Prescreen(const ir::Module& module, const PointsTo& pt,
                      const ir::IndirectCallMap& resolved)
-    : module_(module), pt_(pt), resolved_(resolved) {
+    : module_(module),
+      pt_(pt),
+      owned_facts_(std::make_unique<LockFacts>(module, pt, resolved)),
+      facts_(owned_facts_.get()) {
   const std::size_t n = pt_.objects().size();
   escaped_.assign(n, 0);
   lockable_.assign(n, 1);
-  undisciplined_.assign(n, 0);
   consistently_locked_.assign(n, 0);
   scan_accesses();
   compute_escape();
-  compute_may_release();
-  compute_locksets();
+  compute_lock_discipline_and_common();
+  compute_verdicts();
+}
+
+Prescreen::Prescreen(const ir::Module& module, const PointsTo& pt,
+                     const ir::IndirectCallMap& resolved,
+                     const LockFacts& facts)
+    : module_(module), pt_(pt), facts_(&facts) {
+  (void)resolved;  // lock facts already folded the call graph in
+  const std::size_t n = pt_.objects().size();
+  escaped_.assign(n, 0);
+  lockable_.assign(n, 1);
+  consistently_locked_.assign(n, 0);
+  scan_accesses();
+  compute_escape();
   compute_lock_discipline_and_common();
   compute_verdicts();
 }
@@ -170,196 +172,10 @@ void Prescreen::compute_escape() {
   }
 }
 
-bool Prescreen::call_may_release(const ir::Instruction& instr) const {
-  if (instr.opcode() == ir::Opcode::kCall) {
-    const ir::Function* callee = instr.callee();
-    return callee != nullptr && callee->is_internal() &&
-           callee->has_body() && may_release_.count(callee) != 0;
-  }
-  if (instr.opcode() == ir::Opcode::kCallPtr) {
-    if (pt_.indirect_unresolved(&instr)) return true;
-    auto it = resolved_.find(&instr);
-    if (it == resolved_.end()) return false;
-    for (const ir::Function* target : it->second) {
-      if (target->is_internal() && target->has_body() &&
-          may_release_.count(target) != 0) {
-        return true;
-      }
-    }
-  }
-  return false;
-}
-
-void Prescreen::compute_may_release() {
-  for (const auto& f : module_.functions()) {
-    for (const auto& bb : f->blocks()) {
-      for (const auto& instr : bb->instructions()) {
-        if (instr->opcode() == ir::Opcode::kUnlock) {
-          may_release_.insert(f.get());
-        }
-      }
-    }
-  }
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const auto& f : module_.functions()) {
-      if (may_release_.count(f.get()) != 0) continue;
-      for (const auto& bb : f->blocks()) {
-        for (const auto& instr : bb->instructions()) {
-          if (instr->is_call() && call_may_release(*instr)) {
-            may_release_.insert(f.get());
-            changed = true;
-            break;
-          }
-        }
-        if (changed) break;
-      }
-    }
-  }
-}
-
-bool Prescreen::lock_token(const ir::Value* operand,
-                           PointsTo::ObjectId& token) const {
-  if (operand->kind() != ir::ValueKind::kGlobalVariable) return false;
-  return pt_.id_of_site(operand, token);
-}
-
-void Prescreen::compute_locksets() {
-  // Forward must-analysis per function: meet = intersection, entry = ∅
-  // (callers may hold locks we cannot see — claiming fewer held locks is
-  // the safe direction). Unidentifiable unlocks and calls that may release
-  // clear the whole set.
-  for (const auto& f : module_.functions()) {
-    if (!f->has_body()) continue;
-    std::unordered_map<const ir::BasicBlock*,
-                       std::vector<const ir::BasicBlock*>>
-        preds;
-    for (const auto& bb : f->blocks()) {
-      if (bb->instructions().empty()) continue;
-      for (const ir::BasicBlock* target :
-           bb->instructions().back()->targets()) {
-        preds[target].push_back(bb.get());
-      }
-    }
-    using LockSet = std::vector<PointsTo::ObjectId>;
-    auto transfer = [&](LockSet& cur, const ir::Instruction& instr) {
-      PointsTo::ObjectId token = 0;
-      switch (instr.opcode()) {
-        case ir::Opcode::kLock:
-          if (instr.operand_count() > 0 &&
-              lock_token(instr.operand(0), token)) {
-            insert_sorted(cur, token);
-          }
-          break;
-        case ir::Opcode::kUnlock:
-          if (instr.operand_count() > 0 &&
-              lock_token(instr.operand(0), token)) {
-            erase_sorted(cur, token);
-          } else {
-            cur.clear();  // released an unidentifiable mutex
-          }
-          break;
-        case ir::Opcode::kCall:
-        case ir::Opcode::kCallPtr:
-          if (call_may_release(instr)) cur.clear();
-          break;
-        default:
-          break;
-      }
-    };
-
-    std::unordered_map<const ir::BasicBlock*, std::optional<LockSet>> in;
-    for (const auto& bb : f->blocks()) in[bb.get()] = std::nullopt;
-    in[f->entry()] = LockSet{};
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      for (const auto& bb : f->blocks()) {
-        const auto& state = in[bb.get()];
-        if (!state.has_value()) continue;
-        LockSet out = *state;
-        for (const auto& instr : bb->instructions()) transfer(out, *instr);
-        if (bb->instructions().empty()) continue;
-        for (const ir::BasicBlock* succ :
-             bb->instructions().back()->targets()) {
-          auto& sin = in[succ];
-          if (!sin.has_value()) {
-            sin = out;
-            changed = true;
-          } else {
-            LockSet met = intersect_sorted(*sin, out);
-            if (met != *sin) {
-              sin = std::move(met);
-              changed = true;
-            }
-          }
-        }
-      }
-    }
-
-    // Record the must-set immediately before every event/lock/unlock site.
-    for (const auto& bb : f->blocks()) {
-      LockSet cur = in[bb.get()].value_or(LockSet{});
-      for (const auto& instr : bb->instructions()) {
-        switch (instr->opcode()) {
-          case ir::Opcode::kLoad:
-          case ir::Opcode::kStore:
-          case ir::Opcode::kAtomicRMWAdd:
-          case ir::Opcode::kStrCpy:
-          case ir::Opcode::kMemCopy:
-          case ir::Opcode::kLock:
-          case ir::Opcode::kUnlock:
-            must_before_[instr.get()] = cur;
-            break;
-          default:
-            break;
-        }
-        transfer(cur, *instr);
-      }
-    }
-  }
-}
-
-bool Prescreen::well_formed(PointsTo::ObjectId token) const {
-  return !all_undisciplined_ && undisciplined_[token] == 0;
-}
-
 void Prescreen::compute_lock_discipline_and_common() {
-  // Pass 1 — discipline: a token is well-formed only if every lock/unlock
-  // of it names the global directly, and every unlock provably holds it.
-  for (const auto& f : module_.functions()) {
-    for (const auto& bb : f->blocks()) {
-      for (const auto& instr : bb->instructions()) {
-        const ir::Opcode op = instr->opcode();
-        if (op != ir::Opcode::kLock && op != ir::Opcode::kUnlock) continue;
-        if (instr->operand_count() == 0) continue;
-        const ir::Value* operand = instr->operand(0);
-        PointsTo::ObjectId token = 0;
-        if (lock_token(operand, token)) {
-          if (op == ir::Opcode::kUnlock) {
-            const auto& held = must_before_[instr.get()];
-            if (!std::binary_search(held.begin(), held.end(), token)) {
-              undisciplined_[token] = 1;  // foreign/unpaired unlock
-            }
-          }
-          continue;
-        }
-        if (operand->is_constant()) {
-          const auto v = static_cast<const ir::Constant*>(operand)->value();
-          if (v >= 0 && v < kSafeConstantLimit) continue;  // guard-page mutex
-        }
-        const auto& pts = pt_.points_to(operand);
-        if (pt_.is_unknown(operand) || pts.empty()) {
-          all_undisciplined_ = true;  // could pair with any mutex
-        } else {
-          for (const PointsTo::ObjectId o : pts) undisciplined_[o] = 1;
-        }
-      }
-    }
-  }
-  // Pass 2 — per-object accessor facts: eligibility (plain accesses only)
-  // and the intersection of well-formed held tokens across all accessors.
+  // Discipline comes precomputed in LockFacts; what remains is the
+  // per-object accessor pass: eligibility (plain accesses only) and the
+  // intersection of well-formed held tokens across all accessors.
   for (const auto& f : module_.functions()) {
     for (const auto& bb : f->blocks()) {
       for (const auto& instr : bb->instructions()) {
@@ -372,8 +188,9 @@ void Prescreen::compute_lock_discipline_and_common() {
               continue;
             }
             std::vector<PointsTo::ObjectId> held_wf;
-            for (const PointsTo::ObjectId t : must_before_[instr.get()]) {
-              if (well_formed(t)) held_wf.push_back(t);
+            for (const PointsTo::ObjectId t :
+                 facts_->must_held_before(instr.get())) {
+              if (facts_->well_formed(t)) held_wf.push_back(t);
             }
             auto it = common_locks_.find(o);
             if (it == common_locks_.end()) {

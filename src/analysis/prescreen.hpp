@@ -32,11 +32,13 @@
 // be-pruned access against the detector's verdict and counts violations.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/lock_facts.hpp"
 #include "analysis/points_to.hpp"
 #include "ir/callgraph.hpp"
 
@@ -44,8 +46,13 @@ namespace owl::analysis {
 
 class Prescreen {
  public:
+  /// Standalone construction: computes its own LockFacts internally.
   Prescreen(const ir::Module& module, const PointsTo& pt,
             const ir::IndirectCallMap& resolved);
+  /// Shared-fact construction (ModuleStatic): `facts` must outlive the
+  /// prescreen and be computed over the same module/points-to results.
+  Prescreen(const ir::Module& module, const PointsTo& pt,
+            const ir::IndirectCallMap& resolved, const LockFacts& facts);
 
   /// Plain loads/stores that provably cannot participate in a data race.
   /// Empty whenever pruning_enabled() is false.
@@ -70,34 +77,27 @@ class Prescreen {
     return consistently_locked_.at(o) != 0;
   }
 
+  /// The lockset facts this prescreen consumed (shared or internally owned).
+  const LockFacts& lock_facts() const noexcept { return *facts_; }
+
  private:
   enum class PtrClass { kSubGuard, kTame, kWild };
 
   PtrClass classify_pointer(const ir::Value* p) const;
   void scan_accesses();
   void compute_escape();
-  void compute_may_release();
-  void compute_locksets();
   void compute_lock_discipline_and_common();
   void compute_verdicts();
   void disable(std::string reason);
-  bool well_formed(PointsTo::ObjectId token) const;
-  bool lock_token(const ir::Value* operand, PointsTo::ObjectId& token) const;
-  bool call_may_release(const ir::Instruction& instr) const;
 
   const ir::Module& module_;
   const PointsTo& pt_;
-  const ir::IndirectCallMap& resolved_;
+  std::unique_ptr<const LockFacts> owned_facts_;  // standalone ctor only
+  const LockFacts* facts_;
 
   std::vector<char> escaped_;
   std::vector<char> lockable_;  // no atomic/strcpy/memcopy accessor so far
-  std::vector<char> undisciplined_;
   std::vector<char> consistently_locked_;
-  bool all_undisciplined_ = false;
-  std::unordered_set<const ir::Function*> may_release_;
-  // Must-held lock tokens immediately before each access/unlock site.
-  std::unordered_map<const ir::Instruction*, std::vector<PointsTo::ObjectId>>
-      must_before_;
   // Intersection of well-formed held tokens across an object's accessors;
   // absent entry = no accessor seen yet (⊤).
   std::unordered_map<PointsTo::ObjectId, std::vector<PointsTo::ObjectId>>

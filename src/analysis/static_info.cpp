@@ -28,7 +28,8 @@ ir::IndirectCallMap build_indirect_map(const ir::Module& module,
 ModuleStatic::ModuleStatic(const ir::Module& module)
     : points_to(module),
       resolved_calls(build_indirect_map(module, points_to)),
-      prescreen(module, points_to, resolved_calls) {
+      lock_facts(module, points_to, resolved_calls),
+      prescreen(module, points_to, resolved_calls, lock_facts) {
   for (const auto& f : module.functions()) {
     for (const auto& bb : f->blocks()) {
       for (const auto& instr : bb->instructions()) {

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 
+#include "analysis/lock_facts.hpp"
 #include "analysis/points_to.hpp"
 #include "analysis/prescreen.hpp"
 #include "ir/callgraph.hpp"
@@ -17,6 +18,9 @@ struct ModuleStatic {
 
   PointsTo points_to;
   ir::IndirectCallMap resolved_calls;
+  // Shared lockset/discipline facts: computed once, consumed by both the
+  // prescreen below and the checker suite (src/checkers/).
+  LockFacts lock_facts;
   std::size_t indirect_call_sites = 0;
   std::size_t indirect_resolved_edges = 0;
   std::size_t unresolved_indirect_sites = 0;

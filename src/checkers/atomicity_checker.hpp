@@ -1,0 +1,23 @@
+// Unserializable read/act pairs split across a lock release.
+//
+// Flags a load guarded by mutex M whose value flows (transitive data
+// dependence) into a store to the same shared location that is again
+// guarded by M — but with a release of M in between. A concurrent writer of
+// the location can interleave in the released window, so the two critical
+// sections are not serializable as one atomic step even though every
+// individual access is locked (the classic check-then-act TOCTTOU shape).
+// Requires an MHP writer of the location to exist, else nothing can
+// interleave and the split is harmless.
+#pragma once
+
+#include "checkers/checker.hpp"
+
+namespace owl::checkers {
+
+class AtomicityChecker final : public Checker {
+ public:
+  std::string_view name() const override { return "atomicity"; }
+  void run(const AnalysisContext& ctx, BugReportMgr& mgr) override;
+};
+
+}  // namespace owl::checkers

@@ -1,0 +1,86 @@
+#include "checkers/bug_report.hpp"
+
+#include <algorithm>
+
+namespace owl::checkers {
+
+std::string_view severity_name(Severity level) noexcept {
+  return level == Severity::kError ? "error" : "warning";
+}
+
+const std::vector<RuleInfo>& rule_registry() {
+  static const std::vector<RuleInfo> kRules = {
+      {"OWL-DL-001", "DeadlockLockOrderCycle",
+       "A cycle in the static lock-order graph: threads that take these "
+       "mutexes in opposite orders can block each other forever. Confirmed "
+       "findings were reproduced by a directed scheduler replay."},
+      {"OWL-AV-001", "AtomicitySplitCriticalSection",
+       "A value read in one critical section flows into a write in a later "
+       "critical section of the same mutex: a concurrent writer can "
+       "interleave between the release and the re-acquire, making the "
+       "read/act pair unserializable."},
+      {"OWL-LM-001", "LockReleaseWithoutAcquire",
+       "An unlock site does not provably hold the mutex it releases: a "
+       "foreign thread's critical section can be cut short mid-flight."},
+      {"OWL-LM-002", "LockDoubleAcquire",
+       "A lock site already provably holds the mutex it acquires: MiniIR "
+       "mutexes are non-reentrant, so this self-deadlocks."},
+      {"OWL-LM-003", "InconsistentLockGuards",
+       "A shared location is accessed with a lock held on some paths and "
+       "with no lock on concurrent others: the guard protects nothing."},
+      {"OWL-CV-001", "CondVarWaitWithoutRecheckLoop",
+       "A wait (hb_acquire) outside any loop: a wakeup that races the "
+       "predicate check — or a spurious one — is silently missed."},
+      {"OWL-CV-002", "CondVarSignalWithoutWaiter",
+       "A signal (hb_release) on a sync object no reachable thread ever "
+       "waits on: the notification is lost."},
+  };
+  return kRules;
+}
+
+int rule_index(std::string_view rule_id) {
+  const auto& rules = rule_registry();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].id == rule_id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string BugReport::sort_key() const {
+  std::string key = rule_id;
+  for (const BugLocation& location : locations) {
+    key += "|" + location.loc.to_string() + "|" + location.function + "|" +
+           location.note;
+  }
+  key += "|" + message;
+  return key;
+}
+
+std::string BugReport::to_string() const {
+  std::string out = "[" + rule_id + "] " + std::string(severity_name(level)) +
+                    ": " + message + "\n";
+  for (const BugLocation& location : locations) {
+    out += "    at " + location.loc.to_string() + " in @" + location.function;
+    if (!location.note.empty()) out += ": " + location.note;
+    out += "\n";
+  }
+  return out;
+}
+
+void BugReportMgr::add(BugReport report) {
+  reports_.push_back(std::move(report));
+}
+
+void BugReportMgr::finalize() {
+  std::sort(reports_.begin(), reports_.end(),
+            [](const BugReport& a, const BugReport& b) {
+              return a.sort_key() < b.sort_key();
+            });
+  reports_.erase(std::unique(reports_.begin(), reports_.end(),
+                             [](const BugReport& a, const BugReport& b) {
+                               return a.sort_key() == b.sort_key();
+                             }),
+                 reports_.end());
+}
+
+}  // namespace owl::checkers

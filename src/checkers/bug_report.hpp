@@ -1,0 +1,71 @@
+// Centralized bug reporting for the checker suite (DESIGN.md §11).
+//
+// Every checker deposits BugReports into one BugReportMgr; the manager owns
+// the stable rule registry (id, name, description — the SARIF
+// tool.driver.rules table), deterministic ordering (reports sort by rule id,
+// then primary location, then message, independent of checker execution
+// order or job count), and exact-duplicate collapsing. Rendering is split:
+// the text form feeds core/render's details section, the SARIF form lives in
+// checkers/sarif.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace owl::checkers {
+
+enum class Severity { kError, kWarning };
+
+std::string_view severity_name(Severity level) noexcept;
+
+/// One code coordinate a report points at, with a human note.
+struct BugLocation {
+  ir::SourceLoc loc;
+  std::string function;  ///< enclosing MiniIR function name
+  std::string note;      ///< e.g. "lock @b while holding {@a}"
+};
+
+struct BugReport {
+  std::string rule_id;  ///< stable id, e.g. "OWL-DL-001"
+  Severity level = Severity::kWarning;
+  std::string message;  ///< one-line description of this instance
+  std::vector<BugLocation> locations;  ///< first entry = primary
+
+  /// Deterministic ordering key (rule id, primary loc, message, notes).
+  std::string sort_key() const;
+  /// Text rendering used by core/render's "checker findings" section.
+  std::string to_string() const;
+};
+
+/// Static rule metadata (the SARIF rules table).
+struct RuleInfo {
+  std::string_view id;
+  std::string_view name;
+  std::string_view description;
+};
+
+/// All rules the suite can emit, in stable registry order.
+const std::vector<RuleInfo>& rule_registry();
+/// Index of `rule_id` in rule_registry(), or -1 when unknown.
+int rule_index(std::string_view rule_id);
+
+class BugReportMgr {
+ public:
+  void add(BugReport report);
+
+  /// Sorts deterministically and drops exact duplicates. Idempotent; called
+  /// once after all checkers ran.
+  void finalize();
+
+  const std::vector<BugReport>& reports() const noexcept { return reports_; }
+  std::vector<BugReport> take_reports() noexcept {
+    return std::move(reports_);
+  }
+
+ private:
+  std::vector<BugReport> reports_;
+};
+
+}  // namespace owl::checkers

@@ -1,0 +1,71 @@
+#include "checkers/checker.hpp"
+
+#include "checkers/atomicity_checker.hpp"
+#include "checkers/condvar_checker.hpp"
+#include "checkers/deadlock_checker.hpp"
+#include "checkers/lock_mismatch_checker.hpp"
+#include "support/strings.hpp"
+
+namespace owl::checkers {
+
+std::string CheckerOptions::canonical() const {
+  if (!any()) return "off";
+  std::string out;
+  auto append = [&](bool on, std::string_view name) {
+    if (!on) return;
+    if (!out.empty()) out += ",";
+    out += name;
+  };
+  append(deadlock, "deadlock");
+  append(atomicity, "atomicity");
+  append(lock_mismatch, "lock-mismatch");
+  append(condvar, "condvar");
+  return out;
+}
+
+bool CheckerOptions::parse(std::string_view text, CheckerOptions& out,
+                           std::string& error) {
+  out = CheckerOptions{};
+  if (text == "off" || text.empty()) return true;
+  if (text == "all") {
+    out.deadlock = out.atomicity = out.lock_mismatch = out.condvar = true;
+    return true;
+  }
+  for (const std::string& name : owl::split(text, ',')) {
+    if (name == "deadlock") {
+      out.deadlock = true;
+    } else if (name == "atomicity") {
+      out.atomicity = true;
+    } else if (name == "lock-mismatch") {
+      out.lock_mismatch = true;
+    } else if (name == "condvar") {
+      out.condvar = true;
+    } else {
+      error = "unknown checker '" + name +
+              "' (expected off, all, or a comma list of "
+              "deadlock,atomicity,lock-mismatch,condvar)";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<BugReport> run_checkers(const CheckerOptions& options,
+                                    const AnalysisContext& ctx) {
+  std::vector<std::unique_ptr<Checker>> active;
+  if (options.deadlock) active.push_back(std::make_unique<DeadlockChecker>());
+  if (options.atomicity) {
+    active.push_back(std::make_unique<AtomicityChecker>());
+  }
+  if (options.lock_mismatch) {
+    active.push_back(std::make_unique<LockMismatchChecker>());
+  }
+  if (options.condvar) active.push_back(std::make_unique<CondVarChecker>());
+
+  BugReportMgr mgr;
+  for (const auto& checker : active) checker->run(ctx, mgr);
+  mgr.finalize();
+  return mgr.take_reports();
+}
+
+}  // namespace owl::checkers

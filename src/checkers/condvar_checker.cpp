@@ -1,0 +1,122 @@
+#include "checkers/condvar_checker.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/loops.hpp"
+
+namespace owl::checkers {
+
+namespace {
+
+using ObjectId = analysis::PointsTo::ObjectId;
+
+struct SyncSite {
+  const ir::Instruction* instr = nullptr;
+  const ir::Function* function = nullptr;
+  std::vector<ObjectId> objects;  ///< sorted (points-to order)
+};
+
+bool objects_intersect(const std::vector<ObjectId>& a,
+                       const std::vector<ObjectId>& b) {
+  for (const ObjectId o : a) {
+    if (std::binary_search(b.begin(), b.end(), o)) return true;
+  }
+  return false;
+}
+
+// The operand of hb_acquire/hb_release is usually the condition object
+// itself (a global), for which points_to() is empty — the value IS the
+// address. Fall back to the site's own object id in that case.
+std::vector<ObjectId> sync_objects(const analysis::PointsTo& pt,
+                                   const ir::Value* v) {
+  std::vector<ObjectId> objects = pt.points_to(v);
+  if (objects.empty()) {
+    ObjectId id = 0;
+    if (pt.id_of_site(v, id)) objects.push_back(id);
+  }
+  return objects;
+}
+
+}  // namespace
+
+void CondVarChecker::run(const AnalysisContext& ctx, BugReportMgr& mgr) {
+  const analysis::PointsTo& pt = ctx.points_to();
+
+  std::vector<SyncSite> waits;
+  std::vector<SyncSite> signals;
+  for (const auto& f : ctx.module.functions()) {
+    for (const auto& bb : f->blocks()) {
+      for (const auto& instr : bb->instructions()) {
+        const ir::Opcode op = instr->opcode();
+        if (op != ir::Opcode::kHbAcquire && op != ir::Opcode::kHbRelease) {
+          continue;
+        }
+        if (instr->operand_count() == 0) continue;
+        SyncSite site{instr.get(), f.get(),
+                      sync_objects(pt, instr->operand(0))};
+        if (site.objects.empty()) continue;  // unknown object: no verdict
+        (op == ir::Opcode::kHbAcquire ? waits : signals)
+            .push_back(std::move(site));
+      }
+    }
+  }
+
+  // OWL-CV-001: wait without a predicate re-check loop, when a concurrent
+  // signaler of the same object exists.
+  std::unordered_map<const ir::Function*, std::unique_ptr<ir::LoopInfo>>
+      loop_cache;
+  for (const SyncSite& wait : waits) {
+    const SyncSite* signal = nullptr;
+    for (const SyncSite& candidate : signals) {
+      if (objects_intersect(wait.objects, candidate.objects) &&
+          ctx.mhp.may_happen_in_parallel(wait.function, candidate.function)) {
+        signal = &candidate;
+        break;
+      }
+    }
+    if (signal == nullptr) continue;
+    auto& loops = loop_cache[wait.function];
+    if (!loops) loops = std::make_unique<ir::LoopInfo>(*wait.function);
+    if (loops->in_loop(wait.instr)) continue;
+    const std::string cv = "@" + ctx.object_name(wait.objects.front());
+    BugReport report;
+    report.rule_id = "OWL-CV-001";
+    report.level = Severity::kWarning;
+    report.message = "wait on " + cv +
+                     " is not inside a predicate re-check loop; a wakeup "
+                     "racing the check (or a spurious one) is missed";
+    report.locations.push_back(BugLocation{
+        wait.instr->loc(), wait.function->name(), "wait on " + cv});
+    report.locations.push_back(BugLocation{signal->instr->loc(),
+                                           signal->function->name(),
+                                           "concurrent signal of " + cv});
+    mgr.add(std::move(report));
+  }
+
+  // OWL-CV-002: signal on an object nothing in the module waits on.
+  for (const SyncSite& signal : signals) {
+    bool waiter = false;
+    for (const SyncSite& wait : waits) {
+      if (objects_intersect(signal.objects, wait.objects)) {
+        waiter = true;
+        break;
+      }
+    }
+    if (waiter) continue;
+    const std::string cv = "@" + ctx.object_name(signal.objects.front());
+    BugReport report;
+    report.rule_id = "OWL-CV-002";
+    report.level = Severity::kWarning;
+    report.message =
+        "signal of " + cv + " has no reachable waiter; the notification "
+        "is lost";
+    report.locations.push_back(BugLocation{
+        signal.instr->loc(), signal.function->name(), "signal of " + cv});
+    mgr.add(std::move(report));
+  }
+}
+
+}  // namespace owl::checkers

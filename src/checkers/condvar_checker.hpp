@@ -1,0 +1,24 @@
+// Condition-variable misuse over MiniIR's hb_acquire/hb_release pairs
+// (MiniIR has no dedicated CV opcode; wait = hb_acquire on the cv object,
+// signal = hb_release — the same modeling the adhoc-sync annotator uses).
+//
+// OWL-CV-001: a wait outside any natural loop. The canonical CV contract is
+// `while (!predicate) wait(cv)`; a straight-line wait misses wakeups that
+// race the predicate check and breaks under spurious wakeups. Only fires
+// when a concurrent signaler of the same object exists (otherwise the
+// hb_acquire is a one-shot ordering annotation, not a CV wait).
+// OWL-CV-002: a signal on an object nothing in the module ever waits on —
+// the notification is lost.
+#pragma once
+
+#include "checkers/checker.hpp"
+
+namespace owl::checkers {
+
+class CondVarChecker final : public Checker {
+ public:
+  std::string_view name() const override { return "condvar"; }
+  void run(const AnalysisContext& ctx, BugReportMgr& mgr) override;
+};
+
+}  // namespace owl::checkers

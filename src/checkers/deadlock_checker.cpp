@@ -1,0 +1,138 @@
+#include "checkers/deadlock_checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "interp/deadlock_probe.hpp"
+
+namespace owl::checkers {
+
+namespace {
+
+using ObjectId = analysis::PointsTo::ObjectId;
+
+struct EdgeWitness {
+  const ir::Instruction* instr = nullptr;
+  const ir::Function* function = nullptr;
+};
+
+// Keep exploration bounded on adversarial inputs; real lock graphs are tiny.
+constexpr std::size_t kMaxCycleLength = 8;
+constexpr std::size_t kMaxCycles = 16;
+
+}  // namespace
+
+void DeadlockChecker::run(const AnalysisContext& ctx, BugReportMgr& mgr) {
+  const analysis::LockFacts& facts = ctx.lock_facts();
+
+  // Lock-order graph: edge from -> to for every acquire of `to` while
+  // `from` is must-held; first witness in module order wins (deterministic).
+  std::map<std::pair<ObjectId, ObjectId>, EdgeWitness> edges;
+  for (const auto& site : facts.lock_sites()) {
+    if (!site.is_acquire) continue;
+    for (const ObjectId held : facts.must_held_before(site.instr)) {
+      if (held == site.token) continue;
+      edges.try_emplace({held, site.token},
+                        EdgeWitness{site.instr, site.function});
+    }
+  }
+  if (edges.empty()) return;
+
+  std::map<ObjectId, std::vector<ObjectId>> adjacency;
+  for (const auto& [edge, witness] : edges) {
+    (void)witness;
+    adjacency[edge.first].push_back(edge.second);
+  }
+
+  // Elementary cycles, canonicalized by starting at the smallest token in
+  // the cycle (DFS restricted to nodes >= start never emits a rotation).
+  std::vector<std::vector<ObjectId>> cycles;
+  std::vector<ObjectId> path;
+  std::unordered_set<ObjectId> on_path;
+  auto dfs = [&](auto&& self, ObjectId start, ObjectId node) -> void {
+    if (cycles.size() >= kMaxCycles || path.size() >= kMaxCycleLength) return;
+    path.push_back(node);
+    on_path.insert(node);
+    auto it = adjacency.find(node);
+    if (it != adjacency.end()) {
+      for (const ObjectId next : it->second) {
+        if (next == start) {
+          cycles.push_back(path);
+        } else if (next > start && on_path.count(next) == 0) {
+          self(self, start, next);
+        }
+      }
+    }
+    on_path.erase(node);
+    path.pop_back();
+  };
+  for (const auto& [node, targets] : adjacency) {
+    (void)targets;
+    dfs(dfs, node, node);
+  }
+
+  for (const auto& cycle : cycles) {
+    // Collect the witness per edge and require that two of the witnessing
+    // functions (or one with itself) may actually run in parallel.
+    std::vector<const EdgeWitness*> witnesses;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      const ObjectId from = cycle[i];
+      const ObjectId to = cycle[(i + 1) % cycle.size()];
+      witnesses.push_back(&edges.at({from, to}));
+    }
+    bool concurrent = false;
+    for (std::size_t i = 0; i < witnesses.size() && !concurrent; ++i) {
+      for (std::size_t j = i; j < witnesses.size(); ++j) {
+        if (ctx.mhp.may_happen_in_parallel(witnesses[i]->function,
+                                           witnesses[j]->function)) {
+          concurrent = true;
+          break;
+        }
+      }
+    }
+    if (!concurrent) continue;
+
+    std::string chain;
+    for (const ObjectId token : cycle) {
+      chain += "@" + ctx.object_name(token) + " -> ";
+    }
+    chain += "@" + ctx.object_name(cycle.front());
+
+    // Directed replay: drive a fresh machine toward the cycle and see
+    // whether it genuinely deadlocks (DESIGN.md §11 explains why static
+    // cycles alone over-report: gate locks, unreachable paths).
+    std::string verdict = "replay unavailable";
+    bool confirmed = false;
+    if (ctx.machine_factory) {
+      std::vector<interp::Address> lock_addrs;
+      auto machine = ctx.machine_factory();
+      for (const ObjectId token : cycle) {
+        lock_addrs.push_back(
+            machine->global_address(ctx.object_name(token)));
+      }
+      const interp::DeadlockProbeResult probe =
+          interp::probe_deadlock(*machine, lock_addrs);
+      confirmed = probe.confirmed;
+      verdict = confirmed ? "confirmed by replay" : "not reproduced by replay";
+    }
+
+    BugReport report;
+    report.rule_id = "OWL-DL-001";
+    report.level = confirmed ? Severity::kError : Severity::kWarning;
+    report.message = "lock-order cycle " + chain + " (" + verdict + ")";
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      const EdgeWitness* witness = witnesses[i];
+      const ObjectId from = cycle[i];
+      const ObjectId to = cycle[(i + 1) % cycle.size()];
+      report.locations.push_back(BugLocation{
+          witness->instr->loc(), witness->function->name(),
+          "lock @" + ctx.object_name(to) + " while holding @" +
+              ctx.object_name(from)});
+    }
+    mgr.add(std::move(report));
+  }
+}
+
+}  // namespace owl::checkers

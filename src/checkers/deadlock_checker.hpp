@@ -1,0 +1,23 @@
+// Lock-order-cycle detection with directed replay confirmation.
+//
+// Builds the static lock-order graph from LockFacts (edge A -> B for every
+// acquire of B while A is must-held), enumerates elementary cycles in
+// canonical form, filters out cycles whose witnesses cannot run in parallel
+// (MhpInfo), and — when the context carries a machine factory — attempts to
+// reproduce each surviving cycle with interp::probe_deadlock. Reproduced
+// cycles report as errors ("confirmed by replay"); unreproduced ones as
+// warnings ("not reproduced"), because an outer gate lock or unreachable
+// path may make the static cycle harmless.
+#pragma once
+
+#include "checkers/checker.hpp"
+
+namespace owl::checkers {
+
+class DeadlockChecker final : public Checker {
+ public:
+  std::string_view name() const override { return "deadlock"; }
+  void run(const AnalysisContext& ctx, BugReportMgr& mgr) override;
+};
+
+}  // namespace owl::checkers

@@ -1,0 +1,23 @@
+// Lock-usage mistakes: release-without-acquire (OWL-LM-001), double
+// acquire (OWL-LM-002), and inconsistent guard sets per shared location
+// (OWL-LM-003).
+//
+// LM-001/002 read straight off the LockFacts must-lockset: an unlock whose
+// token is provably not held releases a mutex some other thread may own; a
+// lock whose token is provably already held self-deadlocks (MiniIR mutexes
+// are non-reentrant). LM-003 compares guard sets across all accessors of an
+// escaped object: if some concurrent accessors hold a well-formed lock and
+// others hold none, the lock protects nothing.
+#pragma once
+
+#include "checkers/checker.hpp"
+
+namespace owl::checkers {
+
+class LockMismatchChecker final : public Checker {
+ public:
+  std::string_view name() const override { return "lock-mismatch"; }
+  void run(const AnalysisContext& ctx, BugReportMgr& mgr) override;
+};
+
+}  // namespace owl::checkers

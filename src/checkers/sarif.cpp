@@ -1,0 +1,92 @@
+#include "checkers/sarif.hpp"
+
+#include "support/strings.hpp"
+
+namespace owl::checkers {
+
+namespace {
+
+using owl::json_quote;
+
+std::string render_location(const BugLocation& location) {
+  std::string out = "{\"physicalLocation\":{\"artifactLocation\":{\"uri\":";
+  out += json_quote(location.loc.valid() ? location.loc.file : "unknown");
+  out += "}";
+  if (location.loc.valid()) {
+    out += ",\"region\":{\"startLine\":" +
+           std::to_string(location.loc.line == 0 ? 1u : location.loc.line) +
+           "}";
+  }
+  out += "}";
+  if (!location.note.empty() || !location.function.empty()) {
+    std::string text = location.note.empty()
+                           ? "in @" + location.function
+                           : "in @" + location.function + ": " + location.note;
+    out += ",\"message\":{\"text\":" + json_quote(text) + "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string render_result(const std::string& target,
+                          const BugReport& report) {
+  std::string out = "      {\"ruleId\":" + json_quote(report.rule_id);
+  const int index = rule_index(report.rule_id);
+  if (index >= 0) out += ",\"ruleIndex\":" + std::to_string(index);
+  out += ",\"level\":";
+  out += json_quote(std::string(severity_name(report.level)));
+  out += ",\"message\":{\"text\":" + json_quote(report.message) + "}";
+  out += ",\"locations\":[";
+  if (!report.locations.empty()) {
+    out += render_location(report.locations.front());
+  }
+  out += "]";
+  if (report.locations.size() > 1) {
+    out += ",\"relatedLocations\":[";
+    for (std::size_t i = 1; i < report.locations.size(); ++i) {
+      if (i > 1) out += ",";
+      out += render_location(report.locations[i]);
+    }
+    out += "]";
+  }
+  out += ",\"properties\":{\"target\":" + json_quote(target) + "}}";
+  return out;
+}
+
+}  // namespace
+
+std::string render_sarif(const std::vector<SarifTarget>& targets) {
+  std::string out;
+  out += "{\n";
+  out += "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [{\n";
+  out += "    \"tool\": {\"driver\": {\"name\": \"owl\", \"rules\": [\n";
+  const auto& rules = rule_registry();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out += "      {\"id\":" + json_quote(std::string(rules[i].id)) +
+           ",\"name\":" + json_quote(std::string(rules[i].name)) +
+           ",\"shortDescription\":{\"text\":" +
+           json_quote(std::string(rules[i].description)) + "}}";
+    out += i + 1 < rules.size() ? ",\n" : "\n";
+  }
+  out += "    ]}},\n";
+  out += "    \"results\": [\n";
+  bool first = true;
+  for (const SarifTarget& target : targets) {
+    if (target.reports == nullptr) continue;
+    for (const BugReport& report : *target.reports) {
+      if (!first) out += ",\n";
+      first = false;
+      out += render_result(target.name, report);
+    }
+  }
+  if (!first) out += "\n";
+  out += "    ]\n";
+  out += "  }]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace owl::checkers

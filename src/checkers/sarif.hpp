@@ -1,0 +1,26 @@
+// SARIF 2.1.0 rendering of checker findings (validated in CI by
+// scripts/check_sarif.py).
+//
+// One SARIF log with one run covers all targets of an owl_cli invocation;
+// each result carries its target in a property bag. Everything about the
+// output is deterministic — the rules table is the full stable registry in
+// registry order, results arrive pre-sorted from BugReportMgr and are
+// emitted in target input order — so SARIF files byte-diff across repeat
+// runs and job counts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "checkers/bug_report.hpp"
+
+namespace owl::checkers {
+
+struct SarifTarget {
+  std::string name;  ///< target name (file path or workload id)
+  const std::vector<BugReport>* reports = nullptr;
+};
+
+std::string render_sarif(const std::vector<SarifTarget>& targets);
+
+}  // namespace owl::checkers

@@ -25,12 +25,17 @@ std::string counts_json(const StageCounts& counts) {
   std::string out = str_format(
       "{\"raw_reports\":%zu,\"adhoc_syncs\":%zu,\"after_annotation\":%zu,"
       "\"verifier_eliminated\":%zu,\"remaining\":%zu,"
-      "\"vulnerability_reports\":%zu,\"retries_used\":%u,"
-      "\"resilience\":%s,\"failures\":[",
+      "\"vulnerability_reports\":%zu,\"retries_used\":%u,",
       counts.raw_reports, counts.adhoc_syncs, counts.after_annotation,
       counts.verifier_eliminated, counts.remaining,
-      counts.vulnerability_reports, counts.retries_used,
-      json_quote(counts.resilience_summary()).c_str());
+      counts.vulnerability_reports, counts.retries_used);
+  if (counts.checkers_ran) {
+    // Present only when the checker stage ran, so manifests from
+    // checkers-off runs stay byte-identical to pre-suite ones.
+    out += str_format("\"checker_findings\":%zu,", counts.checker_findings);
+  }
+  out += str_format("\"resilience\":%s,\"failures\":[",
+                    json_quote(counts.resilience_summary()).c_str());
   for (std::size_t i = 0; i < counts.failures.size(); ++i) {
     const support::FailureRecord& record = counts.failures[i];
     if (i != 0) out += ',';
@@ -138,6 +143,11 @@ std::string render_manifest(const std::string& tool,
   kv.emplace_back("keep_unverified_on_degradation",
                   flag(options.keep_unverified_on_degradation));
   kv.emplace_back("fault_injection", flag(options.fault_injector != nullptr));
+  if (options.checkers.any()) {
+    // Echoed only when enabled — checkers-off manifests keep the
+    // pre-suite options block byte for byte.
+    kv.emplace_back("checkers", options.checkers.canonical());
+  }
 
   std::vector<ManifestTarget> metas;
   metas.reserve(targets.size());

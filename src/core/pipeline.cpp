@@ -228,6 +228,33 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
                    << module_static->prescreen.disable_reason() << ")";
   }
 
+  // ---- checker suite (optional, DESIGN.md §11) ----
+  // Static detection of deadlock / atomicity / lock-mismatch / CV-misuse
+  // bugs over the step-(0) facts, with lock-order cycles confirmed by
+  // scheduler replay through target.factory. Degrades, never dies: a
+  // throwing checker leaves a FailureRecord and the Fig. 3 stages run on.
+  if (options_.checkers.any() && module_static.has_value()) {
+    TRACE_SPAN("checkers", target.name);
+    const StageTimer timer(options_.stage_timings, "checkers");
+    if (injector != nullptr) injector->begin_stage(PipelineStage::kCheckers);
+    result.checkers_ran = true;
+    result.counts.checkers_ran = true;
+    try {
+      if (injector != nullptr) injector->maybe_throw();
+      const checkers::AnalysisContext ctx(*target.module, *module_static,
+                                          target.factory);
+      result.checker_findings = checkers::run_checkers(options_.checkers, ctx);
+    } catch (const std::exception& error) {
+      record_failure(result.counts, PipelineStage::kCheckers,
+                     FailureCause::kException, error.what());
+      result.checker_findings.clear();
+    }
+    result.counts.checker_findings = result.checker_findings.size();
+    OWL_LOG(kInfo) << target.name << ": " << result.checker_findings.size()
+                   << " checker finding(s) ["
+                   << options_.checkers.canonical() << "]";
+  }
+
   // ---- step (1): raw detection ----
   std::vector<race::RaceReport> raw;
   {
@@ -569,6 +596,12 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
     registry.counter("pipeline.attacks.confirmed")
         .inc(result.confirmed_attacks());
     registry.counter("pipeline.retries").inc(result.counts.retries_used);
+    if (result.checkers_ran) {
+      // Registered only when the stage ran: the metrics snapshot in the
+      // manifest stays byte-identical to pre-suite runs with checkers off.
+      registry.counter("pipeline.checker_findings")
+          .inc(result.checker_findings.size());
+    }
     registry.histogram("pipeline.raw_reports_per_target")
         .observe(result.counts.raw_reports);
     registry.wall_clock("pipeline.wall_seconds").add(result.total_seconds);
@@ -648,6 +681,13 @@ std::string serialize_result(const PipelineResult& result) {
   std::string out = "=== target " + result.target_name + " ===\n";
   out += result.counts.serialize();
   out += result.store.canonical_dump();
+  if (result.checkers_ran) {
+    out += str_format("[checker findings %zu]\n",
+                      result.checker_findings.size());
+    for (const checkers::BugReport& report : result.checker_findings) {
+      out += report.to_string();
+    }
+  }
   out += str_format("[exploits %zu]\n", result.exploits.size());
   for (const vuln::ExploitReport& exploit : result.exploits) {
     out += vuln::render_hint(exploit);

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "checkers/checker.hpp"
 #include "core/attack.hpp"
 #include "core/report_store.hpp"
 #include "race/prescreen_view.hpp"
@@ -99,6 +100,11 @@ struct PipelineOptions {
   unsigned vuln_verifier_attempts = 8;
   vuln::VulnerabilityAnalyzer::Mode analyzer_mode =
       vuln::VulnerabilityAnalyzer::Mode::kDirected;
+  /// Concurrency checker suite beyond data races (DESIGN.md §11): deadlock,
+  /// atomicity, lock-mismatch, condition-variable misuse. All off by
+  /// default — with every checker off the pipeline's output is
+  /// byte-identical to a build without the suite.
+  checkers::CheckerOptions checkers;
 
   // --- resilience layer ---
   StageBudgets stage_budgets;          ///< per-stage deadlines/step budgets
@@ -148,6 +154,12 @@ struct PipelineResult {
   std::vector<vuln::ExploitReport> exploits;
   /// Exploits whose site the dynamic verifier reached.
   std::vector<ConcurrencyAttack> attacks;
+  /// Checker-suite findings (empty unless checkers were enabled), sorted
+  /// into BugReportMgr's deterministic order.
+  std::vector<checkers::BugReport> checker_findings;
+  /// True when the checker stage ran — rendering keys off this, not off
+  /// findings being non-empty, so "ran and found nothing" is visible.
+  bool checkers_ran = false;
   double total_seconds = 0.0;
 
   /// Attacks with a realized security consequence.

@@ -19,6 +19,10 @@ std::string render_cli_summary(const PipelineResult& result) {
                     result.counts.vulnerability_reports);
   out += str_format("  attacks (site reached/realized): %zu/%zu\n",
                     result.attacks.size(), result.confirmed_attacks());
+  if (result.checkers_ran) {
+    out += str_format("  checker findings:      %zu\n",
+                      result.checker_findings.size());
+  }
   out += str_format("  resilience:            %s\n",
                     result.counts.resilience_summary().c_str());
   if (result.degraded()) {
@@ -52,6 +56,16 @@ std::string render_cli_details(const PipelineResult& result,
     out += str_format("\n--- attacks (%s) ---\n", result.target_name.c_str());
     for (const ConcurrencyAttack& attack : result.attacks) {
       out += attack.to_string();
+    }
+  }
+  if (result.checkers_ran) {
+    out += str_format("\n--- checker findings (%s) ---\n",
+                      result.target_name.c_str());
+    if (result.checker_findings.empty()) {
+      out += "none\n";
+    }
+    for (const checkers::BugReport& report : result.checker_findings) {
+      out += report.to_string();
     }
   }
   return out;

@@ -10,6 +10,9 @@ std::string StageCounts::serialize() const {
       "vuln_reports=%zu retries=%u\n",
       raw_reports, adhoc_syncs, after_annotation, verifier_eliminated,
       remaining, vulnerability_reports, retries_used);
+  if (checkers_ran) {
+    out += str_format("checkers: findings=%zu\n", checker_findings);
+  }
   for (const support::FailureRecord& record : failures) {
     out += str_format(
         "failure: %s/%s steps=%llu retries=%u (%s)\n",

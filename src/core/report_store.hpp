@@ -27,6 +27,13 @@ struct StageCounts {
   double avg_analysis_seconds = 0.0;    ///< A.C. per report
   std::size_t vulnerability_reports = 0;///< OWL's final reports (Table 2)
 
+  // --- checker suite (DESIGN.md §11) ---
+  /// Findings from the optional concurrency checker stage. Serialized
+  /// only when `checkers_ran` — the counters line stays byte-identical
+  /// to pre-suite output whenever the checkers are off.
+  std::size_t checker_findings = 0;
+  bool checkers_ran = false;
+
   // --- resilience accounting (Table 2/3's resilience column) ---
   /// Stage failures absorbed by the resilience layer. Non-empty means the
   /// row's numbers are best-effort under degradation, not a crash.

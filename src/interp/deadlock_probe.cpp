@@ -1,0 +1,103 @@
+#include "interp/deadlock_probe.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/instruction.hpp"
+
+namespace owl::interp {
+
+namespace {
+
+/// Tracks which cycle locks each thread currently holds, via sync events.
+class CycleLockTracker final : public Observer {
+ public:
+  explicit CycleLockTracker(const std::unordered_set<Address>& cycle)
+      : cycle_(cycle) {}
+
+  void on_access(const Access&, const Machine&) override {}
+
+  void on_sync(const Sync& sync, const Machine&) override {
+    if (sync.kind != SyncKind::kLockAcquire &&
+        sync.kind != SyncKind::kLockRelease) {
+      return;
+    }
+    if (cycle_.count(sync.addr) == 0) return;
+    if (sync.kind == SyncKind::kLockAcquire) {
+      held_[sync.tid].insert(sync.addr);
+    } else {
+      held_[sync.tid].erase(sync.addr);
+    }
+  }
+
+  bool holds_any(ThreadId tid) const {
+    auto it = held_.find(tid);
+    return it != held_.end() && !it->second.empty();
+  }
+  bool holds(ThreadId tid, Address addr) const {
+    auto it = held_.find(tid);
+    return it != held_.end() && it->second.count(addr) != 0;
+  }
+
+ private:
+  const std::unordered_set<Address>& cycle_;
+  std::unordered_map<ThreadId, std::unordered_set<Address>> held_;
+};
+
+/// Parks threads poised to take a second cycle lock while others progress;
+/// once every runnable thread is poised, releases them lowest-tid-first so
+/// each blocks on a mutex a peer owns. Fully deterministic.
+class CycleDriveScheduler final : public Scheduler {
+ public:
+  CycleDriveScheduler(const Machine& machine, const CycleLockTracker& held,
+                      const std::unordered_set<Address>& cycle)
+      : machine_(machine), held_(held), cycle_(cycle) {}
+
+  ThreadId pick(const std::vector<ThreadId>& runnable,
+                std::uint64_t step) override {
+    (void)step;
+    for (const ThreadId tid : runnable) {
+      if (!poised(tid)) return tid;
+    }
+    return runnable.front();
+  }
+
+ private:
+  bool poised(ThreadId tid) const {
+    const Thread* thread = machine_.thread(tid);
+    if (thread == nullptr) return false;
+    const ir::Instruction* instr = thread->next_instruction();
+    if (instr == nullptr || instr->opcode() != ir::Opcode::kLock) return false;
+    if (instr->operand_count() == 0) return false;
+    if (!held_.holds_any(tid)) return false;  // first cycle lock: let it run
+    const auto addr = static_cast<Address>(
+        machine_.eval_in_thread(tid, instr->operand(0)));
+    if (cycle_.count(addr) == 0) return false;
+    return !held_.holds(tid, addr);  // a *new* cycle lock closes an edge
+  }
+
+  const Machine& machine_;
+  const CycleLockTracker& held_;
+  const std::unordered_set<Address>& cycle_;
+};
+
+}  // namespace
+
+DeadlockProbeResult probe_deadlock(Machine& machine,
+                                   const std::vector<Address>& cycle_locks) {
+  const std::unordered_set<Address> cycle(cycle_locks.begin(),
+                                          cycle_locks.end());
+  CycleLockTracker tracker(cycle);
+  // The tracker is stack-local: the machine must be discarded after the
+  // probe (callers construct a fresh one per candidate cycle).
+  machine.add_observer(&tracker);
+  CycleDriveScheduler scheduler(machine, tracker, cycle);
+  const RunResult result = machine.run(scheduler);
+  DeadlockProbeResult out;
+  out.stop = result.reason;
+  out.steps = result.steps;
+  out.confirmed = result.reason == StopReason::kDeadlock;
+  return out;
+}
+
+}  // namespace owl::interp

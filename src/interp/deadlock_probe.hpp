@@ -1,0 +1,35 @@
+// Directed replay confirmation for deadlock candidates (DESIGN.md §11).
+//
+// The static lock-order graph over-approximates: a cycle in it is only a
+// *potential* deadlock (the cycle may be unreachable, or guarded by an
+// outer "gate" lock that serializes the conflicting regions). Before
+// reporting, the DeadlockChecker replays the program under a scheduler that
+// actively drives the cycle: any thread poised to take a *second* cycle
+// lock is parked while other threads make progress, until every runnable
+// thread is poised — then they are released one by one, each blocking on a
+// mutex a parked peer already owns. If the machine ends in StopReason::
+// kDeadlock, the cycle is realizable and the finding is confirmed; if the
+// program still terminates, the candidate is downgraded, not reported as
+// confirmed. The whole probe is deterministic (lowest-tid-first, no
+// randomness), so findings byte-diff across runs and job counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interp/machine.hpp"
+
+namespace owl::interp {
+
+struct DeadlockProbeResult {
+  bool confirmed = false;      ///< replay ended with StopReason::kDeadlock
+  StopReason stop = StopReason::kAllFinished;
+  std::uint64_t steps = 0;
+};
+
+/// Drives `machine` (already started, not yet run) toward a deadlock over
+/// `cycle_locks` (runtime addresses of the mutexes on the candidate cycle).
+DeadlockProbeResult probe_deadlock(Machine& machine,
+                                   const std::vector<Address>& cycle_locks);
+
+}  // namespace owl::interp

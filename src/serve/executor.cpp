@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "checkers/sarif.hpp"
 #include "core/manifest.hpp"
 #include "core/render.hpp"
 #include "interp/machine.hpp"
@@ -110,6 +111,7 @@ ExecResult Executor::run(const std::string& module_text,
   pipeline_options.retry.max_retries = options.retries;
   pipeline_options.detector_impl = options.detector_impl;
   pipeline_options.prescreen = options.prescreen;
+  pipeline_options.checkers = options.checkers;
   pipeline_options.manifest_tool = "owl_cli";
   if (pipeline_faults_ != nullptr && !pipeline_faults_->empty()) {
     pipeline_options.fault_injector = pipeline_faults_;
@@ -141,6 +143,18 @@ ExecResult Executor::run(const std::string& module_text,
     if (options.quiet) break;
     result.output +=
         core::render_cli_details(pipeline_result, options.print_reports);
+  }
+  if (options.sarif) {
+    // Mirrors `owl_cli --sarif-out -`: the log is appended to the output
+    // after the details, so responses stay byte-identical to the one-shot
+    // invocation (and SARIF rides the result cache for free).
+    std::vector<checkers::SarifTarget> sarif_targets;
+    sarif_targets.reserve(results.size());
+    for (const core::PipelineResult& pipeline_result : results) {
+      sarif_targets.push_back(checkers::SarifTarget{
+          pipeline_result.target_name, &pipeline_result.checker_findings});
+    }
+    result.output += checkers::render_sarif(sarif_targets);
   }
   // The manifest body is the provenance record the cache seals into the
   // entry. Tool label "owl_cli": the manifest documents the canonical

@@ -122,6 +122,16 @@ bool AnalysisOptions::from_json(const JsonValue& value, AnalysisOptions& out,
       std::uint64_t n = 0;
       if (!read_uint(field, n) || n > 256) return bad(key);
       out.jobs = static_cast<unsigned>(n);
+    } else if (key == "checkers") {
+      std::string checker_error;
+      if (!field.is_string() ||
+          !checkers::CheckerOptions::parse(field.as_string(), out.checkers,
+                                           checker_error)) {
+        return bad(key);
+      }
+    } else if (key == "sarif") {
+      if (!field.is_bool()) return bad(key);
+      out.sarif = field.as_bool();
     } else {
       // Strict: an ignored option would silently answer for the wrong
       // owl_cli invocation.
@@ -134,7 +144,9 @@ bool AnalysisOptions::from_json(const JsonValue& value, AnalysisOptions& out,
 
 std::string AnalysisOptions::canonical_blob(
     const std::string& target_name) const {
-  std::string out = "owl-options-v1\n";
+  // v2: the blob gained checkers= and sarif= — the marker bump makes a
+  // v1 key and a v2 key differ even for requests with checkers off.
+  std::string out = "owl-options-v2\n";
   out += "name=" + target_name + "\n";
   out += "entry=" + entry + "\n";
   out += "inputs=" + words_csv(inputs) + "\n";
@@ -167,6 +179,8 @@ std::string AnalysisOptions::canonical_blob(
   // keys that collapse only if the property holds would make a determinism
   // bug unobservable.
   out += str_format("jobs=%u\n", jobs);
+  out += "checkers=" + checkers.canonical() + "\n";
+  out += str_format("sarif=%d\n", sarif ? 1 : 0);
   return out;
 }
 
@@ -290,6 +304,8 @@ std::string serialize_request(const Request& request) {
   out += str_format(",\"stage_deadline\":%.6f", opt.stage_deadline);
   out += str_format(",\"retries\":%u", opt.retries);
   out += str_format(",\"jobs\":%u", opt.jobs);
+  out += ",\"checkers\":" + json_quote(opt.checkers.canonical());
+  out += std::string(",\"sarif\":") + flag(opt.sarif);
   out += "}}";
   return out;
 }

@@ -71,6 +71,12 @@ struct AnalysisOptions {
   double stage_deadline = 0.0;  ///< 0 = unlimited
   unsigned retries = 2;
   unsigned jobs = 1;  ///< intra-request parallelism (verifier sharding)
+  /// Concurrency checker suite selection (mirror of --checkers); stored
+  /// parsed so canonical_blob hashes the canonical spelling, not whatever
+  /// comma order the client typed.
+  checkers::CheckerOptions checkers;
+  /// Mirror of `--sarif-out -`: append the SARIF 2.1.0 log to the output.
+  bool sarif = false;
 
   /// Parses the "options" object; st carries the offending key on error.
   static bool from_json(const JsonValue& value, AnalysisOptions& out,

@@ -9,6 +9,7 @@ std::string_view pipeline_stage_name(PipelineStage stage) noexcept {
     case PipelineStage::kRaceVerification: return "race-verification";
     case PipelineStage::kVulnAnalysis: return "vuln-analysis";
     case PipelineStage::kVulnVerification: return "vuln-verification";
+    case PipelineStage::kCheckers: return "checkers";
     case PipelineStage::kDriver: return "driver";
     case PipelineStage::kServeAdmit: return "serve-admit";
     case PipelineStage::kServeEnqueue: return "serve-enqueue";

@@ -27,6 +27,7 @@ enum class PipelineStage {
   kRaceVerification,  ///< step (3): dynamic race verifier
   kVulnAnalysis,      ///< step (4): static vulnerability analysis
   kVulnVerification,  ///< step (5): dynamic vulnerability verifier
+  kCheckers,          ///< concurrency checker suite (DESIGN.md §11)
   kDriver,            ///< multi-target driver wrapper (catastrophic catch)
   kServeAdmit,        ///< owl_served: admission control decision
   kServeEnqueue,      ///< owl_served: bounded-queue insertion

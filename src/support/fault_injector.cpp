@@ -41,6 +41,8 @@ bool parse_fault_plan(std::string_view text, FaultPlan& plan) {
     plan.stage = PipelineStage::kVulnAnalysis;
   } else if (parts[0] == "vuln-verify") {
     plan.stage = PipelineStage::kVulnVerification;
+  } else if (parts[0] == "check") {
+    plan.stage = PipelineStage::kCheckers;
   } else if (parts[0] == "admit") {
     plan.stage = PipelineStage::kServeAdmit;
   } else if (parts[0] == "enqueue") {

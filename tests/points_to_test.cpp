@@ -341,5 +341,148 @@ entry:
   EXPECT_TRUE(handler_site_found(with.analyze_from(read, stack)));
 }
 
+// --- LockFacts: the lockset machinery extracted from the prescreen ---
+
+TEST(LockFactsTest, MustLocksetTracksCriticalSections) {
+  auto m = parse_ok(R"(module m
+global @mu
+global @g
+func @main() {
+entry:
+  %before = load @g
+  lock @mu
+  store 1, @g
+  unlock @mu
+  %after = load @g
+  ret
+}
+)");
+  const ModuleStatic ms(*m);
+  const LockFacts& facts = ms.lock_facts;
+  ASSERT_FALSE(facts.all_undisciplined());
+
+  PointsTo::ObjectId mu = 0;
+  ASSERT_TRUE(facts.lock_token(
+      find_instr(m->find_function("main"), ir::Opcode::kLock)->operand(0),
+      mu));
+  EXPECT_TRUE(facts.well_formed(mu));
+
+  const ir::Function* main_fn = m->find_function("main");
+  const ir::Instruction* guarded = find_instr(main_fn, ir::Opcode::kStore);
+  ASSERT_TRUE(facts.has_fact(guarded));
+  EXPECT_EQ(facts.must_held_before(guarded), LockFacts::LockSet{mu});
+  // Loads outside the critical section hold nothing.
+  EXPECT_TRUE(facts.must_held_before(
+                  find_instr(main_fn, ir::Opcode::kLoad, 0)).empty());
+  EXPECT_TRUE(facts.must_held_before(
+                  find_instr(main_fn, ir::Opcode::kLoad, 1)).empty());
+
+  // Both lock sites resolved, in module order: acquire then release.
+  ASSERT_EQ(facts.lock_sites().size(), 2u);
+  EXPECT_TRUE(facts.lock_sites()[0].is_acquire);
+  EXPECT_FALSE(facts.lock_sites()[1].is_acquire);
+  EXPECT_EQ(facts.lock_sites()[0].token, mu);
+  EXPECT_EQ(facts.lock_sites()[1].token, mu);
+}
+
+TEST(LockFactsTest, UnprovenUnlockBreaksDiscipline) {
+  // The second unlock does not provably hold @mu, so the token is not
+  // well-formed — exactly the fact the lock-mismatch checker reports and
+  // the prescreen uses to refuse "consistently locked" pruning.
+  auto m = parse_ok(R"(module m
+global @mu
+global @g
+func @main() {
+entry:
+  lock @mu
+  store 1, @g
+  unlock @mu
+  unlock @mu
+  ret
+}
+)");
+  const ModuleStatic ms(*m);
+  const LockFacts& facts = ms.lock_facts;
+  PointsTo::ObjectId mu = 0;
+  ASSERT_TRUE(facts.lock_token(
+      find_instr(m->find_function("main"), ir::Opcode::kLock)->operand(0),
+      mu));
+  EXPECT_FALSE(facts.well_formed(mu));
+}
+
+TEST(LockFactsTest, CallsIntoReleasingFunctionsClearTheMustSet) {
+  auto m = parse_ok(R"(module m
+global @mu
+global @g
+func @releases() {
+entry:
+  unlock @mu
+  ret
+}
+func @keeps() {
+entry:
+  %x = load @g
+  ret
+}
+func @main() {
+entry:
+  lock @mu
+  call @keeps()
+  store 1, @g
+  call @releases()
+  store 2, @g
+  ret
+}
+)");
+  const ModuleStatic ms(*m);
+  const LockFacts& facts = ms.lock_facts;
+  const ir::Function* main_fn = m->find_function("main");
+  EXPECT_FALSE(
+      facts.function_may_release(m->find_function("keeps")));
+  EXPECT_TRUE(
+      facts.function_may_release(m->find_function("releases")));
+  // The store after the non-releasing call keeps the lockset; the one
+  // after the may-release call loses it.
+  EXPECT_EQ(facts.must_held_before(find_instr(main_fn, ir::Opcode::kStore, 0))
+                .size(),
+            1u);
+  EXPECT_TRUE(
+      facts.must_held_before(find_instr(main_fn, ir::Opcode::kStore, 1))
+          .empty());
+}
+
+TEST(LockFactsTest, SerializeIsRebuildDeterministic) {
+  const std::string text = R"(module m
+global @a
+global @b
+global @g
+func @worker() {
+entry:
+  lock @a
+  lock @b
+  store 1, @g
+  unlock @b
+  unlock @a
+  ret
+}
+func @main() {
+entry:
+  %t = thread_create @worker, 0
+  thread_join %t
+  ret
+}
+)";
+  auto m1 = parse_ok(text);
+  auto m2 = parse_ok(text);
+  const ModuleStatic ms1(*m1);
+  const ModuleStatic ms2(*m2);
+  const std::string snapshot = ms1.lock_facts.serialize();
+  EXPECT_FALSE(snapshot.empty());
+  EXPECT_EQ(snapshot, ms2.lock_facts.serialize());
+  // A second LockFacts over the same analysis inputs is also identical.
+  const LockFacts rebuilt(*m1, ms1.points_to, ms1.resolved_calls);
+  EXPECT_EQ(snapshot, rebuilt.serialize());
+}
+
 }  // namespace
 }  // namespace owl::analysis

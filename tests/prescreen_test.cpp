@@ -257,6 +257,100 @@ TEST(PrescreenTest, ThreadlocalNoiseExampleIsMostlyPrunable) {
   EXPECT_EQ(ms.prescreen.no_race().size(), 12u);
 }
 
+/// Public-API fact dump: pruning verdict, access counters, per-object
+/// escape/lock classification, and the no_race set in module order. The
+/// committed goldens under tests/golden/prescreen_facts/ were generated
+/// from the pre-LockFacts-refactor build with exactly this format — the
+/// diff proves the refactor moved the lockset machinery without changing
+/// one fact.
+std::string dump_facts(const ir::Module& module, const PointsTo& pt,
+                       const Prescreen& pre) {
+  std::string out;
+  if (pre.pruning_enabled()) {
+    out += "pruning=enabled\n";
+  } else {
+    out += "pruning=disabled reason=" + pre.disable_reason() + "\n";
+  }
+  out += "considered=" + std::to_string(pre.considered_accesses()) +
+         " wild=" + std::to_string(pre.wild_accesses()) + "\n";
+  const auto& objects = pt.objects();
+  for (PointsTo::ObjectId id = 0; id < objects.size(); ++id) {
+    const auto& obj = objects[id];
+    const char* kind = "?";
+    switch (obj.kind) {
+      case ObjectKind::kGlobal: kind = "global"; break;
+      case ObjectKind::kStack: kind = "stack"; break;
+      case ObjectKind::kHeap: kind = "heap"; break;
+      case ObjectKind::kFunction: kind = "function"; break;
+    }
+    out += "obj " + std::to_string(id) + " kind=" + kind +
+           " site=" + obj.site->name() +
+           " escapes=" + (pre.object_escapes(id) ? "1" : "0") +
+           " locked=" + (pre.object_consistently_locked(id) ? "1" : "0") +
+           "\n";
+  }
+  for (const auto& fn : module.functions()) {
+    for (const auto& bb : fn->blocks()) {
+      const auto& instrs = bb->instructions();
+      for (std::size_t i = 0; i < instrs.size(); ++i) {
+        if (pre.no_race().count(instrs[i].get()) == 0) continue;
+        out += "no_race " + fn->name() + " " + bb->label() + "#" +
+               std::to_string(i) + " " +
+               std::string(ir::opcode_name(instrs[i]->opcode())) + " " +
+               instrs[i]->loc().to_string() + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+TEST(PrescreenTest, GoldenFactsMatchCommittedSnapshot) {
+  const std::filesystem::path golden_dir =
+      std::filesystem::path(OWL_GOLDEN_DIR) / "prescreen_facts";
+  std::size_t compared = 0;
+  for (const auto& path : example_files()) {
+    const std::filesystem::path golden =
+        golden_dir / (path.stem().string() + ".txt");
+    if (!std::filesystem::exists(golden)) continue;  // example added later
+    std::ifstream in(golden);
+    ASSERT_TRUE(in.good()) << "cannot open " << golden;
+    std::ostringstream expected;
+    expected << in.rdbuf();
+
+    auto m = load_example(path);
+    const ModuleStatic ms(*m);
+    EXPECT_EQ(dump_facts(*m, ms.points_to, ms.prescreen), expected.str())
+        << "static facts drifted for " << path.filename();
+    ++compared;
+  }
+  EXPECT_GE(compared, 10u) << "golden sweep lost its example coverage";
+}
+
+TEST(PrescreenTest, FactsIdenticalAcrossConstructionPaths) {
+  // The prescreen can build its own LockFacts (3-arg ctor) or borrow a
+  // caller-owned instance (4-arg ctor, what ModuleStatic does so the
+  // checker suite shares the facts). Both paths must produce identical
+  // verdicts, and the facts serialization must be rebuild-deterministic.
+  for (const auto& path : example_files()) {
+    auto m = load_example(path);
+    const ModuleStatic ms(*m);
+    const Prescreen standalone(*m, ms.points_to, ms.resolved_calls);
+    const LockFacts facts(*m, ms.points_to, ms.resolved_calls);
+    const Prescreen borrowed(*m, ms.points_to, ms.resolved_calls, facts);
+
+    const std::string via_static = dump_facts(*m, ms.points_to, ms.prescreen);
+    EXPECT_EQ(dump_facts(*m, ms.points_to, standalone), via_static)
+        << path.filename();
+    EXPECT_EQ(dump_facts(*m, ms.points_to, borrowed), via_static)
+        << path.filename();
+
+    const LockFacts rebuilt(*m, ms.points_to, ms.resolved_calls);
+    EXPECT_EQ(facts.serialize(), rebuilt.serialize()) << path.filename();
+    EXPECT_EQ(facts.serialize(), ms.lock_facts.serialize())
+        << path.filename();
+  }
+}
+
 core::PipelineTarget target_for(const std::shared_ptr<ir::Module>& m) {
   core::PipelineTarget t;
   t.name = m->name();

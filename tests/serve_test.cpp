@@ -238,6 +238,50 @@ TEST(ProtocolTest, CanonicalBlobSeparatesDistinctRequests) {
   EXPECT_EQ(base.canonical_blob("m"), blob);
 }
 
+TEST(ProtocolTest, CanonicalBlobSeparatesCheckerAndSarifOptions) {
+  AnalysisOptions base;
+  const std::string blob = base.canonical_blob("m");
+  std::string error;
+
+  // Same module + detection options, different checker selections: every
+  // selection gets its own cache key (a hit would answer with output
+  // missing — or carrying — the checker sections of the wrong run).
+  AnalysisOptions all = base;
+  ASSERT_TRUE(checkers::CheckerOptions::parse("all", all.checkers, error));
+  EXPECT_NE(all.canonical_blob("m"), blob);
+
+  AnalysisOptions subset = base;
+  ASSERT_TRUE(
+      checkers::CheckerOptions::parse("deadlock", subset.checkers, error));
+  EXPECT_NE(subset.canonical_blob("m"), blob);
+  EXPECT_NE(subset.canonical_blob("m"), all.canonical_blob("m"));
+
+  // SARIF presence changes the response bytes, so it must change the key.
+  AnalysisOptions sarif = base;
+  sarif.sarif = true;
+  EXPECT_NE(sarif.canonical_blob("m"), blob);
+
+  // Client comma order is canonicalized away: the same selection spelled
+  // two ways hashes to one key.
+  AnalysisOptions spelled_a = base;
+  AnalysisOptions spelled_b = base;
+  ASSERT_TRUE(checkers::CheckerOptions::parse("condvar,deadlock",
+                                              spelled_a.checkers, error));
+  ASSERT_TRUE(checkers::CheckerOptions::parse("deadlock,condvar",
+                                              spelled_b.checkers, error));
+  EXPECT_EQ(spelled_a.canonical_blob("m"), spelled_b.canonical_blob("m"));
+
+  // And the checker fields round-trip through the journal A-record form.
+  Request request;
+  request.module_text = "module m\n";
+  request.options = all;
+  request.options.sarif = true;
+  Request replayed;
+  ASSERT_TRUE(parse_request(serialize_request(request), replayed).is_ok());
+  EXPECT_EQ(replayed.options.canonical_blob(replayed.display_name()),
+            request.options.canonical_blob(request.display_name()));
+}
+
 TEST(ProtocolTest, ResponsesAreSingleJsonLines) {
   for (const std::string& line :
        {ok_response("r1", "hit", 0, false, "sha", "out\nput", ""),

@@ -40,8 +40,18 @@
 //   --inject-fault SPEC    deterministic fault injection, repeatable.
 //                          SPEC = stage:kind[:after] with
 //                          stage in detect|annotate|race-verify|vuln-analyze|
-//                          vuln-verify and kind in stall|livelock|throw|
-//                          truncate; `after` skips the first N probes
+//                          vuln-verify|check and kind in stall|livelock|
+//                          throw|truncate; `after` skips the first N probes
+//   --checkers SEL         concurrency checker suite (DESIGN.md §11):
+//                          off (default), all, or a comma list of
+//                          deadlock,atomicity,lock-mismatch,condvar.
+//                          Findings print in the summary/details and are
+//                          byte-identical for any --jobs value. Also
+//                          --checkers=SEL
+//   --sarif-out FILE       write checker findings as one SARIF 2.1.0 log
+//                          covering every target in input order; "-"
+//                          appends the log to stdout (after the details,
+//                          before the timings)
 //   --whole-program        ablation: ignore runtime call stacks
 //   --print-module         echo the parsed module before analyzing
 //   --print-reports        print every surviving race report
@@ -62,6 +72,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "checkers/sarif.hpp"
 #include "core/pipeline.hpp"
 #include "core/render.hpp"
 #include "interp/machine.hpp"
@@ -105,6 +116,8 @@ struct CliOptions {
   std::string trace_out;    ///< Chrome trace JSON path ("" = tracing off)
   std::string manifest_out; ///< run-manifest JSON path ("" = none)
   std::string metrics_out;  ///< metrics snapshot text path ("" = none)
+  checkers::CheckerOptions checkers;  ///< all off by default
+  std::string sarif_out;    ///< SARIF log path; "-" = stdout ("" = none)
 };
 
 void usage() {
@@ -120,7 +133,8 @@ void usage() {
                "       [--stage-deadline S] [--retries N]\n"
                "       [--inject-fault stage:kind[:after]] [-q|--quiet]\n"
                "       [--trace-out FILE] [--manifest FILE]\n"
-               "       [--metrics-out FILE]\n");
+               "       [--metrics-out FILE]\n"
+               "       [--checkers off|all|LIST] [--sarif-out FILE|-]\n");
 }
 
 /// Parses "stage:kind[:after]" into a FaultPlan via the shared parser
@@ -236,6 +250,29 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (v == nullptr || *v == '\0') return false;
       options.metrics_out = v;
+    } else if (arg == "--checkers") {
+      const char* v = next();
+      std::string error;
+      if (v == nullptr ||
+          !checkers::CheckerOptions::parse(v, options.checkers, error)) {
+        if (!error.empty()) {
+          std::fprintf(stderr, "owl_cli: %s\n", error.c_str());
+        }
+        return false;
+      }
+    } else if (arg.rfind("--checkers=", 0) == 0) {
+      std::string error;
+      if (!checkers::CheckerOptions::parse(arg.substr(11), options.checkers,
+                                           error)) {
+        if (!error.empty()) {
+          std::fprintf(stderr, "owl_cli: %s\n", error.c_str());
+        }
+        return false;
+      }
+    } else if (arg == "--sarif-out") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') return false;
+      options.sarif_out = v;
     } else if (arg == "--inject-fault") {
       const char* v = next();
       support::FaultPlan plan;
@@ -358,6 +395,7 @@ int main(int argc, char** argv) {
   pipeline_options.retry.max_retries = options.retries;
   pipeline_options.detector_impl = options.detector_impl;
   pipeline_options.prescreen = options.prescreen;
+  pipeline_options.checkers = options.checkers;
   pipeline_options.jobs = jobs;
   pipeline_options.manifest_path = options.manifest_out;
   pipeline_options.manifest_tool = "owl_cli";
@@ -398,11 +436,31 @@ int main(int argc, char** argv) {
         core::render_cli_details(result, options.print_reports).c_str(),
         stdout);
   }
+  int status = 0;
+  if (!options.sarif_out.empty()) {
+    std::vector<checkers::SarifTarget> sarif_targets;
+    sarif_targets.reserve(results.size());
+    for (const core::PipelineResult& result : results) {
+      sarif_targets.push_back(
+          checkers::SarifTarget{result.target_name, &result.checker_findings});
+    }
+    const std::string sarif = checkers::render_sarif(sarif_targets);
+    if (options.sarif_out == "-") {
+      std::fputs(sarif.c_str(), stdout);
+    } else {
+      std::ofstream out(options.sarif_out, std::ios::trunc);
+      out << sarif;
+      if (!out) {
+        std::fprintf(stderr, "owl_cli: cannot write SARIF to %s\n",
+                     options.sarif_out.c_str());
+        status = 1;
+      }
+    }
+  }
   if (options.timings) {
     std::printf("\n--- per-stage timings (jobs=%u) ---\n", jobs);
     std::fputs(stage_timings.summary().c_str(), stdout);
   }
-  int status = 0;
   if (!options.trace_out.empty() &&
       !support::TraceCollector::instance().write_chrome_trace(
           options.trace_out)) {
