@@ -27,6 +27,7 @@
 #include "ir/loops.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
+#include "race/predict/sp_predictor.hpp"
 #include "race/shadow_memory.hpp"
 #include "race/tsan_detector.hpp"
 #include "race/vector_clock.hpp"
@@ -523,6 +524,195 @@ void BM_DetectorPrescreenedRead(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(accesses));
 }
 BENCHMARK(BM_DetectorPrescreenedRead)->ArgName("impl")->Arg(0)->Arg(1);
+
+// --------------------------------------------------------------------------
+// Sync-preserving race prediction (BENCH_predict.json;
+// --benchmark_filter='Predict'): raw SP-closure cost scaling with trace
+// length, and the whole-pipeline payoff of --predict on — the pruned
+// guarded-handoff pairs never reach schedule exploration, so the on/off
+// real_time gap is the schedules_avoided win.
+// --------------------------------------------------------------------------
+
+/// Instruction donors for the synthetic predictor traces (the predictor
+/// keys reports and events by instruction id).
+struct PredictBenchSetup {
+  std::unique_ptr<ir::Module> module;
+  const ir::Instruction* w_x = nullptr;
+  const ir::Instruction* w_flag = nullptr;
+  const ir::Instruction* r_flag = nullptr;
+  const ir::Instruction* r_x = nullptr;
+  const ir::Instruction* w_noise = nullptr;
+
+  PredictBenchSetup() {
+    auto parsed = ir::parse_module(R"(module predict_bench
+global @x
+global @flag
+global @noise
+func @f() {
+entry:
+  store 1, @x
+  store 1, @flag
+  %a = load @flag
+  %b = load @x
+  store 1, @noise
+  ret
+}
+func @main() {
+entry:
+  ret
+}
+)");
+    module = std::move(parsed).value();
+    const ir::Function* f = module->find_function("f");
+    std::vector<const ir::Instruction*> accesses;
+    for (const auto& bb : f->blocks()) {
+      for (const auto& instr : bb->instructions()) {
+        if (instr->opcode() == ir::Opcode::kStore ||
+            instr->opcode() == ir::Opcode::kLoad) {
+          accesses.push_back(instr.get());
+        }
+      }
+    }
+    w_x = accesses[0];
+    w_flag = accesses[1];
+    r_flag = accesses[2];
+    r_x = accesses[3];
+    w_noise = accesses[4];
+  }
+};
+
+/// One SP-closure decision over a trace of range(0) noise events per
+/// thread with the racing pair at the far end: the ideal spans the whole
+/// prefix, so this prices the closure's fixpoint against trace length.
+void BM_PredictClosure(benchmark::State& state) {
+  using race::predict::TraceEvent;
+  const PredictBenchSetup setup;
+  const auto noise = static_cast<std::size_t>(state.range(0));
+
+  const auto ev = [](TraceEvent::Kind kind, interp::ThreadId tid,
+                     interp::Address addr, const ir::Instruction* instr) {
+    TraceEvent e;
+    e.kind = kind;
+    e.tid = tid;
+    e.addr = addr;
+    e.instr = instr;
+    return e;
+  };
+  race::predict::Trace trace;
+  trace.events.push_back(ev(TraceEvent::Kind::kThreadCreate, 0, 1, nullptr));
+  trace.events.push_back(ev(TraceEvent::Kind::kThreadCreate, 0, 2, nullptr));
+  for (std::size_t i = 0; i < noise; ++i) {
+    trace.events.push_back(
+        ev(TraceEvent::Kind::kWrite, 1, 10000 + i, setup.w_noise));
+    trace.events.push_back(
+        ev(TraceEvent::Kind::kWrite, 2, 20000 + i, setup.w_noise));
+  }
+  trace.events.push_back(ev(TraceEvent::Kind::kWrite, 1, 5, setup.w_x));
+  trace.events.push_back(ev(TraceEvent::Kind::kWrite, 1, 6, setup.w_flag));
+  trace.events.push_back(ev(TraceEvent::Kind::kRead, 2, 6, setup.r_flag));
+  trace.events.push_back(ev(TraceEvent::Kind::kRead, 2, 5, setup.r_x));
+  const std::vector<race::predict::Trace> traces{std::move(trace)};
+
+  std::vector<race::RaceReport> reduced(2);
+  reduced[0].first.instr = setup.w_x;
+  reduced[0].second.instr = setup.r_x;
+  reduced[1].first.instr = setup.w_flag;
+  reduced[1].second.instr = setup.r_flag;
+
+  const race::predict::SpPredictor predictor;
+  for (auto _ : state) {
+    // module=nullptr: every read steering — the strictest (costliest)
+    // closure, and the one that proves reduced[0] infeasible.
+    const auto out = predictor.analyze(nullptr, traces, reduced);
+    benchmark::DoNotOptimize(out.candidates);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * traces[0].events.size()));
+}
+BENCHMARK(BM_PredictClosure)->ArgName("noise")->Arg(64)->Arg(512)->Arg(4096);
+
+/// The guarded-publish shape the shipped examples plant, widened to six
+/// payload cells: every payload pair is flag-guarded (SP-infeasible), only
+/// the flag handoff itself races — so exhaustive mode schedule-explores
+/// seven reports where predict mode explores one.
+constexpr const char* kPredictPipelineModule = R"(module predict_pipe
+global @d0
+global @d1
+global @d2
+global @d3
+global @d4
+global @d5
+global @flag
+func @writer() {
+entry:
+  store 10, @d0
+  store 11, @d1
+  store 12, @d2
+  store 13, @d3
+  store 14, @d4
+  store 15, @d5
+  store 1, @flag
+  ret
+}
+func @reader() {
+entry:
+  io_delay 5
+  %f = load @flag
+  %ok = icmp ne %f, 0
+  br %ok, use, skip
+use:
+  %v0 = load @d0
+  %v1 = load @d1
+  %v2 = load @d2
+  %v3 = load @d3
+  %v4 = load @d4
+  %v5 = load @d5
+  ret
+skip:
+  ret
+}
+func @main() {
+entry:
+  %w = thread_create @writer, 0
+  %r = thread_create @reader, 0
+  thread_join %w
+  thread_join %r
+  ret
+}
+)";
+
+/// Full pipeline with --predict off (arg 0) vs on (arg 1) on the guarded
+/// module: identical final reports, but on-mode skips schedule exploration
+/// for every SP-infeasible pair — the real_time gap is the payoff
+/// BENCH_predict.json records.
+void BM_PipelinePredictOn(benchmark::State& state) {
+  auto parsed = ir::parse_module(kPredictPipelineModule);
+  const std::shared_ptr<ir::Module> m = std::move(parsed).value();
+  core::PipelineTarget target;
+  target.name = "predict_pipe";
+  target.module = m.get();
+  target.factory = [m] {
+    auto machine =
+        std::make_unique<interp::Machine>(*m, interp::MachineOptions{});
+    machine->start(m->find_function("main"));
+    return machine;
+  };
+  core::PipelineOptions options;
+  options.predict = state.range(0) == 0 ? race::PredictMode::kOff
+                                        : race::PredictMode::kOn;
+  const core::Pipeline pipeline(options);
+  std::size_t remaining = 0;
+  std::size_t avoided = 0;
+  for (auto _ : state) {
+    const core::PipelineResult result = pipeline.run(target);
+    remaining = result.counts.remaining;
+    avoided = result.counts.predict_schedules_avoided;
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.counters["remaining"] = static_cast<double>(remaining);
+  state.counters["schedules_avoided"] = static_cast<double>(avoided);
+}
+BENCHMARK(BM_PipelinePredictOn)->ArgName("predict")->Arg(0)->Arg(1);
 
 // --- owl_served round-trips (BENCH_serve.json) ------------------------
 // One full request lifecycle through ServiceCore — parse, admission,

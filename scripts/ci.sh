@@ -198,6 +198,104 @@ if violations != 0:
     raise SystemExit(f"ci.sh: prescreen audit counted {violations} violations")
 EOF
 
+  # Predict gate (DESIGN.md §12), four promises:
+  #   (a) --predict off is byte-identical to not passing the flag at all —
+  #       stdout, manifest body, and metric snapshots;
+  #   (b) on/audit produce the same final report stream as exhaustive
+  #       exploration (modulo the predict summary line) on every steady
+  #       example — predicted_only.mir is the deliberate exception, a
+  #       planted race only prediction can surface, checked separately;
+  #   (c) audit mode observes zero wrongly-pruned races (exit 3 otherwise,
+  #       which fails this stage via set -e);
+  #   (d) prediction does real work: pruned pairs and avoided schedules
+  #       are nonzero on the guarded examples.
+  current_step="predict off-mode byte-identity"
+  for j in 1 4; do
+    ./build/tools/owl_cli --jobs "$j" --print-reports --detector-impl fast \
+      --predict off \
+      --manifest "build/manifest-pr-off-j$j.json" \
+      --metrics-out "build/metrics-pr-off-j$j.txt" \
+      "${examples[@]}" > "build/out-pr-off-j$j.txt"
+    diff -u "build/out-fast-j$j.txt" "build/out-pr-off-j$j.txt" \
+      || { echo "ci.sh: --predict off changed the reports (jobs=$j)" >&2
+           exit 1; }
+    python3 scripts/manifest_diff.py \
+      "build/manifest-fast-j$j.json" "build/manifest-pr-off-j$j.json" \
+      || { echo "ci.sh: --predict off changed the manifest body (jobs=$j)" >&2
+           exit 1; }
+    cmp "build/metrics-fast-j$j.txt" "build/metrics-pr-off-j$j.txt" \
+      || { echo "ci.sh: --predict off changed metrics (jobs=$j)" >&2
+           exit 1; }
+  done
+
+  current_step="predict differential gate (on/audit vs exhaustive)"
+  steady=()
+  for example in "${examples[@]}"; do
+    [ "$(basename "$example")" = predicted_only.mir ] && continue
+    steady+=("$example")
+  done
+  for j in 1 4; do
+    ./build/tools/owl_cli --jobs "$j" --print-reports --detector-impl fast \
+      "${steady[@]}" > "build/out-pr-base-j$j.txt"
+    for mode in on audit; do
+      ./build/tools/owl_cli --jobs "$j" --print-reports --detector-impl fast \
+        --predict "$mode" \
+        --manifest "build/manifest-pr-$mode-j$j.json" \
+        "${steady[@]}" > "build/out-pr-$mode-j$j.txt"
+      grep -v "^  predict: " "build/out-pr-$mode-j$j.txt" \
+        > "build/out-pr-$mode-j$j.stripped"
+      diff -u "build/out-pr-base-j$j.txt" "build/out-pr-$mode-j$j.stripped" \
+        || { echo "ci.sh: --predict $mode changed the final reports (jobs=$j)" >&2
+             exit 1; }
+    done
+  done
+
+  current_step="predicted-race discovery (predicted_only.mir)"
+  ./build/tools/owl_cli --jobs 1 --print-reports \
+    examples/ir/predicted_only.mir > build/out-po-off.txt
+  ./build/tools/owl_cli --jobs 1 --print-reports --predict on \
+    examples/ir/predicted_only.mir > build/out-po-on.txt
+  if grep -q "data race on 'stat'" build/out-po-off.txt; then
+    echo "ci.sh: predicted_only.mir race manifested without prediction" >&2
+    echo "ci.sh: (the example no longer plants a predicted-only race)" >&2
+    exit 1
+  fi
+  grep -q "data race on 'stat'" build/out-po-on.txt \
+    || { echo "ci.sh: --predict on missed the planted predicted-only race" >&2
+         exit 1; }
+
+  current_step="predict pruning effectiveness"
+  python3 - <<'EOF'
+import json
+on = json.load(open("build/manifest-pr-on-j1.json"))
+audit = json.load(open("build/manifest-pr-audit-j1.json"))
+candidates = on["metrics"].get("predict.candidates", 0)
+avoided = on["metrics"].get("predict.schedules_avoided", 0)
+closure = on["environment"]["advisory_metrics"].get(
+    "predict.closure_iterations", 0)
+violations = audit["environment"]["advisory_metrics"].get(
+    "predict.audit_violations", 0)
+if candidates <= 0:
+    raise SystemExit("ci.sh: predictor SP-checked no candidate pairs")
+if avoided <= 0:
+    raise SystemExit("ci.sh: --predict on avoided no verifier schedules")
+if closure <= 0:
+    raise SystemExit("ci.sh: predictor recorded no closure iterations")
+if violations != 0:
+    raise SystemExit(f"ci.sh: predict audit counted {violations} violations")
+EOF
+
+  current_step="predict trace span"
+  ./build/tools/owl_cli --jobs 1 -q --predict on \
+    --trace-out build/trace-predict.json "${examples[@]}" > /dev/null
+  python3 - <<'EOF'
+import json
+trace = json.load(open("build/trace-predict.json"))
+names = {e["name"] for e in trace["traceEvents"]}
+if "predict" not in names:
+    raise SystemExit("ci.sh: trace missing the predict span")
+EOF
+
   # Checker-suite gate (DESIGN.md §11), three promises:
   #   (a) --checkers off is byte-identical to not passing the flag at all
   #       (the baseline outputs above ran without it);
@@ -355,6 +453,12 @@ stage_bench() {
     --benchmark_out=build-release/BENCH_static.json \
     --benchmark_out_format=json > /dev/null
 
+  current_step="record fresh predict benchmarks"
+  ./build-release/bench/micro_perf --benchmark_filter='Predict' \
+    --benchmark_repetitions=3 \
+    --benchmark_out=build-release/BENCH_predict.json \
+    --benchmark_out_format=json > /dev/null
+
   current_step="record fresh serve benchmarks"
   ./build-release/bench/micro_perf --benchmark_filter='ServeRoundtrip' \
     --benchmark_repetitions=3 \
@@ -372,6 +476,10 @@ stage_bench() {
   current_step="benchmark regression gate (static analysis)"
   python3 scripts/check_bench.py \
     build-release/BENCH_static.json bench/baselines/BENCH_static.json
+
+  current_step="benchmark regression gate (predict)"
+  python3 scripts/check_bench.py \
+    build-release/BENCH_predict.json bench/baselines/BENCH_predict.json
 
   current_step="benchmark regression gate (serve)"
   python3 scripts/check_bench.py \

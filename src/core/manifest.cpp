@@ -161,7 +161,7 @@ std::string render_manifest(const std::string& tool,
   }
 
   ManifestKv environment;
-  environment.reserve(3);
+  environment.reserve(4);
   environment.emplace_back("jobs", str_format("%u", options.jobs));
   environment.emplace_back("verifier_pool",
                            flag(options.verifier_pool != nullptr));
@@ -169,6 +169,8 @@ std::string render_manifest(const std::string& tool,
   // bodies across modes, so the mode echo must live in the stripped tail.
   environment.emplace_back(
       "prescreen", std::string(race::prescreen_mode_name(options.prescreen)));
+  environment.emplace_back(
+      "predict", std::string(race::predict_mode_name(options.predict)));
   return render_manifest(tool, kv, metas, results, environment);
 }
 

@@ -1,11 +1,13 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 
 #include "analysis/static_info.hpp"
 #include "core/manifest.hpp"
 #include "race/atomicity_detector.hpp"
+#include "race/predict/sp_predictor.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/strings.hpp"
@@ -105,9 +107,14 @@ std::size_t PipelineResult::confirmed_attacks() const noexcept {
 std::vector<race::RaceReport> Pipeline::detect_once(
     const PipelineTarget& target, const race::AnnotationSet* annotations,
     race::PrescreenView prescreen, std::uint64_t base_seed,
-    support::Budget& budget, StageCounts& counts) const {
+    support::Budget& budget, StageCounts& counts,
+    race::predict::TraceRecorder* recorder) const {
   FaultInjector* injector = options_.fault_injector;
   std::vector<race::RaceReport> merged;
+  // Each pass starts a fresh trace set: the predict stage reasons over the
+  // final (annotated, when there is one) pass — the same report stream the
+  // verifier sees.
+  if (recorder != nullptr) recorder->begin_pass(annotations);
   for (unsigned i = 0; i < target.detection_schedules; ++i) {
     if (const auto cause = budget.exhausted_by()) {
       record_failure(counts, PipelineStage::kDetection, *cause,
@@ -127,8 +134,13 @@ std::vector<race::RaceReport> Pipeline::detect_once(
       // schedule-classified), so `annotations` is intentionally unused.
       race::AtomicityDetector detector;
       machine->add_observer(&detector);
+      if (recorder != nullptr) {
+        machine->add_observer(recorder);
+        recorder->begin_run();
+      }
       interp::RandomScheduler scheduler(base_seed + i);
       const interp::RunResult run = machine->run(scheduler);
+      if (recorder != nullptr) recorder->finish_run(*machine);
       budget.charge_steps(run.steps);
       std::vector<race::RaceReport> converted;
       for (const race::AtomicityReport& report : detector.take_reports()) {
@@ -151,7 +163,12 @@ std::vector<race::RaceReport> Pipeline::detect_once(
       scheduler = std::make_unique<interp::RandomScheduler>(base_seed + i);
     }
     machine->add_observer(detector.get());
+    if (recorder != nullptr) {
+      machine->add_observer(recorder);
+      recorder->begin_run();
+    }
     const interp::RunResult run = machine->run(*scheduler);
+    if (recorder != nullptr) recorder->finish_run(*machine);
     budget.charge_steps(run.steps);
     race::merge_reports(merged, detector->take_reports());
   }
@@ -160,7 +177,8 @@ std::vector<race::RaceReport> Pipeline::detect_once(
 
 std::optional<std::vector<race::RaceReport>> Pipeline::detect(
     const PipelineTarget& target, const race::AnnotationSet* annotations,
-    race::PrescreenView prescreen, StageCounts& counts) const {
+    race::PrescreenView prescreen, StageCounts& counts,
+    race::predict::TraceRecorder* recorder) const {
   FaultInjector* injector = options_.fault_injector;
   const support::RetryPolicy& retry = options_.retry;
   for (unsigned attempt = 0; attempt < retry.max_attempts(); ++attempt) {
@@ -173,7 +191,7 @@ std::optional<std::vector<race::RaceReport>> Pipeline::detect(
       if (injector != nullptr) injector->maybe_throw();
       std::vector<race::RaceReport> merged = detect_once(
           target, annotations, prescreen,
-          retry.seed_for(target.seed, attempt), budget, counts);
+          retry.seed_for(target.seed, attempt), budget, counts, recorder);
       counts.retries_used += attempt;
       attribute_injected(injector, counts, PipelineStage::kDetection);
       return merged;
@@ -255,12 +273,23 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
                    << options_.checkers.canonical() << "]";
   }
 
+  // Event-trace capture for the predict stage (DESIGN.md §12): attached to
+  // every detection pass; only the last pass's traces survive, so the
+  // predictor reasons over exactly the executions that produced `reduced`.
+  // Atomicity targets are out of SP theory's scope and never record.
+  const bool predict_active = options_.predict != race::PredictMode::kOff &&
+                              target.detector != DetectorKind::kAtomicity &&
+                              target.module != nullptr;
+  race::predict::TraceRecorder trace_recorder;
+  race::predict::TraceRecorder* recorder =
+      predict_active ? &trace_recorder : nullptr;
+
   // ---- step (1): raw detection ----
   std::vector<race::RaceReport> raw;
   {
     TRACE_SPAN("detection", target.name);
     const StageTimer timer(options_.stage_timings, "detection");
-    raw = detect(target, nullptr, prescreen, result.counts)
+    raw = detect(target, nullptr, prescreen, result.counts, recorder)
               .value_or(std::vector<race::RaceReport>{});
   }
   result.counts.raw_reports = raw.size();
@@ -279,7 +308,7 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
         reduced = std::move(raw);
       } else {
         reduced = detect(target, options_.preset_annotations, prescreen,
-                         result.counts)
+                         result.counts, recorder)
                       .value_or(raw);  // degraded re-run: keep raw reports
       }
     } else if (options_.enable_adhoc_annotation) {
@@ -294,7 +323,7 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
       if (outcome.has_value() && !outcome->annotations.empty()) {
         result.counts.adhoc_syncs = outcome->unique_adhoc_syncs;
         reduced = detect(target, &outcome->annotations, prescreen,
-                         result.counts)
+                         result.counts, recorder)
                       .value_or(raw);  // degraded re-run: keep raw reports
       } else {
         if (outcome.has_value()) {
@@ -311,6 +340,72 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
   OWL_LOG(kInfo) << target.name << ": " << reduced.size()
                  << " reports after annotation ("
                  << result.counts.adhoc_syncs << " adhoc syncs)";
+
+  // ---- predict stage: sync-preserving race prediction (DESIGN.md §12) ----
+  // Decides, from the traces the detection schedules already produced,
+  // which reduced reports any sync-preserving reordering could co-enable —
+  // and which unreported pairs could race. kOn prunes the verifier's input
+  // to the feasible set and adds the predicted-new candidates (each still
+  // subject to replay confirmation below); kAudit computes verdicts only
+  // and cross-checks them after verification. A predictor failure degrades
+  // to exhaustive behavior: nothing pruned, nothing added.
+  const std::size_t reduced_from_detector = reduced.size();
+  std::optional<race::predict::PredictOutcome> predict_outcome;
+  if (predict_active) {
+    TRACE_SPAN("predict", target.name);
+    const StageTimer timer(options_.stage_timings, "predict");
+    if (injector != nullptr) injector->begin_stage(PipelineStage::kPredict);
+    result.predict_ran = true;
+    result.counts.predict_ran = true;
+    try {
+      if (injector != nullptr) injector->maybe_throw();
+      const race::predict::SpPredictor predictor;
+      predict_outcome =
+          predictor.analyze(target.module, trace_recorder.traces(), reduced);
+    } catch (const std::exception& error) {
+      record_failure(result.counts, PipelineStage::kPredict,
+                     FailureCause::kException, error.what());
+      predict_outcome.reset();
+    }
+    if (predict_outcome.has_value()) {
+      result.counts.predict_candidates = predict_outcome->candidates;
+      if (options_.predict == race::PredictMode::kOn) {
+        std::vector<race::RaceReport> kept;
+        kept.reserve(reduced.size() + predict_outcome->predicted_new.size());
+        for (race::RaceReport& report : reduced) {
+          if (predict_outcome->verdict_for(report.key()) ==
+              race::predict::Feasibility::kInfeasible) {
+            ++result.counts.predict_pruned;
+          } else {
+            kept.push_back(std::move(report));
+          }
+        }
+        for (const race::RaceReport& report :
+             predict_outcome->predicted_new) {
+          kept.push_back(report);
+        }
+        std::sort(kept.begin(), kept.end(), race::report_order);
+        reduced = std::move(kept);
+        // Every pruned report would have burned its full attempt budget
+        // (an infeasible pair never verifies, and failure has no early
+        // exit) — that is the exploration this stage saves.
+        result.counts.predict_schedules_avoided =
+            result.counts.predict_pruned * options_.race_verifier_attempts;
+      } else {
+        for (const race::RaceReport& report : reduced) {
+          if (predict_outcome->verdict_for(report.key()) ==
+              race::predict::Feasibility::kInfeasible) {
+            ++result.counts.predict_pruned;
+          }
+        }
+      }
+      OWL_LOG(kInfo) << target.name << ": predict checked "
+                     << predict_outcome->candidates << " candidate pair(s), "
+                     << result.counts.predict_pruned << " infeasible, "
+                     << predict_outcome->predicted_new.size()
+                     << " predicted-new";
+    }
+  }
 
   // ---- step (3): dynamic race verification ----
   std::vector<race::RaceReport> survivors;
@@ -337,7 +432,10 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
                        stage_budget.steps_spent(),
                        stage_budget.elapsed_seconds());
         for (std::size_t k = r; k < reduced.size(); ++k) {
-          if (options_.keep_unverified_on_degradation) {
+          // Predicted candidates never pass through unconfirmed: they are
+          // hypotheses, not observations.
+          if (options_.keep_unverified_on_degradation &&
+              !reduced[k].predicted) {
             survivors.push_back(reduced[k]);
           }
         }
@@ -382,7 +480,7 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
         }
       }
       if (!verify_ran) {
-        if (options_.keep_unverified_on_degradation) {
+        if (options_.keep_unverified_on_degradation && !report.predicted) {
           survivors.push_back(report);
           ++passed_through;
         }
@@ -393,7 +491,7 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
         survivors.push_back(report);
       } else if (vr.livelocked || vr.budget_exhausted) {
         ++livelocked_reports;
-        if (options_.keep_unverified_on_degradation) {
+        if (options_.keep_unverified_on_degradation && !report.predicted) {
           survivors.push_back(report);
           ++passed_through;
         }
@@ -409,17 +507,55 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
                      livelocked_reports, passed_through),
           stage_budget.steps_spent(), stage_budget.elapsed_seconds());
     }
-    result.counts.verifier_eliminated = reduced.size() >= survivors.size()
-                                            ? reduced.size() - survivors.size()
-                                            : 0;
+    // Elimination is counted against the *detector's* reduced set, so the
+    // Table 3 column means the same thing in every predict mode: a report
+    // the predictor pruned counts as eliminated (the verifier would have
+    // eliminated it dynamically), while a confirmed predicted-new report
+    // is an addition, not a survivor of reduction.
+    std::size_t detector_survivors = 0;
+    for (const race::RaceReport& report : survivors) {
+      if (!report.predicted) ++detector_survivors;
+      else ++result.counts.predict_new_confirmed;
+    }
+    result.counts.verifier_eliminated =
+        reduced_from_detector >= detector_survivors
+            ? reduced_from_detector - detector_survivors
+            : 0;
   } else {
-    survivors = std::move(reduced);
+    // Without the verifier there is no replay confirmation, so predicted
+    // candidates are dropped rather than reported as observations.
+    if (result.predict_ran) {
+      survivors.reserve(reduced.size());
+      for (race::RaceReport& report : reduced) {
+        if (!report.predicted) survivors.push_back(std::move(report));
+      }
+    } else {
+      survivors = std::move(reduced);
+    }
     result.counts.verifier_eliminated = 0;
   }
   result.counts.remaining = survivors.size();
   result.store.set_stage(Stage::kAfterRaceVerifier, survivors);
   OWL_LOG(kInfo) << target.name << ": " << survivors.size()
                  << " verified races remain";
+
+  // Audit cross-check: a replay-confirmed data race the predictor called
+  // infeasible falsifies the pruning verdict — with --predict on that race
+  // would have been lost. Advisory counter; the CLI and serve executor
+  // turn a non-zero count into exit 3.
+  if (options_.predict == race::PredictMode::kAudit &&
+      predict_outcome.has_value()) {
+    std::uint64_t violations = 0;
+    for (const race::RaceReport& report :
+         result.store.stage(Stage::kAfterRaceVerifier)) {
+      if (report.kind == race::ReportKind::kDataRace && report.verified &&
+          predict_outcome->verdict_for(report.key()) ==
+              race::predict::Feasibility::kInfeasible) {
+        ++violations;
+      }
+    }
+    support::metrics().advisory("predict.audit_violations").inc(violations);
+  }
 
   // ---- step (4): static vulnerability analysis (Algorithm 1) ----
   struct PendingAttack {
@@ -601,6 +737,17 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
       // manifest stays byte-identical to pre-suite runs with checkers off.
       registry.counter("pipeline.checker_findings")
           .inc(result.checker_findings.size());
+    }
+    if (result.predict_ran) {
+      // Same gating: predict-off snapshots carry no predict keys at all.
+      registry.counter("predict.candidates")
+          .inc(result.counts.predict_candidates);
+      registry.counter("predict.schedules_avoided")
+          .inc(result.counts.predict_schedules_avoided);
+      if (predict_outcome.has_value()) {
+        registry.advisory("predict.closure_iterations")
+            .inc(predict_outcome->closure_iterations);
+      }
     }
     registry.histogram("pipeline.raw_reports_per_target")
         .observe(result.counts.raw_reports);

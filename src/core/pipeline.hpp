@@ -21,6 +21,8 @@
 #include "checkers/checker.hpp"
 #include "core/attack.hpp"
 #include "core/report_store.hpp"
+#include "race/predict/predict_mode.hpp"
+#include "race/predict/trace_recorder.hpp"
 #include "race/prescreen_view.hpp"
 #include "race/ski_detector.hpp"
 #include "support/deadline.hpp"
@@ -94,6 +96,14 @@ struct PipelineOptions {
   /// full detection and counts pruned-but-raced soundness violations
   /// (advisory counter prescreen.audit_violations — must stay zero).
   race::PrescreenMode prescreen = race::PrescreenMode::kOff;
+  /// Sync-preserving race prediction (DESIGN.md §12). kOff (default)
+  /// changes nothing; kOn hands the race verifier only predicted-feasible
+  /// candidates plus replay-confirmed predicted races the observed
+  /// schedules never exhibited; kAudit keeps the exhaustive path and
+  /// cross-checks the predictor's verdicts against what the verifier
+  /// confirmed (advisory counter predict.audit_violations — must stay
+  /// zero).
+  race::PredictMode predict = race::PredictMode::kOff;
   bool enable_race_verifier = true;     ///< off for kernels (paper §8.3)
   bool enable_vuln_verifier = true;
   unsigned race_verifier_attempts = 3;
@@ -160,6 +170,8 @@ struct PipelineResult {
   /// True when the checker stage ran — rendering keys off this, not off
   /// findings being non-empty, so "ran and found nothing" is visible.
   bool checkers_ran = false;
+  /// True when the predict stage ran (same gating idiom as checkers_ran).
+  bool predict_ran = false;
   double total_seconds = 0.0;
 
   /// Attacks with a realized security consequence.
@@ -202,15 +214,19 @@ class Pipeline {
   /// detection budget, retrying per policy on a thrown fault. Failures are
   /// recorded on `counts`; nullopt means every attempt failed (the caller
   /// picks the fallback: empty for step (1), the raw reports for step (2)).
+  /// `recorder`, when non-null, captures each schedule's event trace for
+  /// the predict stage (only the final pass's traces are kept).
   std::optional<std::vector<race::RaceReport>> detect(
       const PipelineTarget& target, const race::AnnotationSet* annotations,
-      race::PrescreenView prescreen, StageCounts& counts) const;
+      race::PrescreenView prescreen, StageCounts& counts,
+      race::predict::TraceRecorder* recorder) const;
 
   /// One detection pass (no retry wrapper); throws on detector faults.
   std::vector<race::RaceReport> detect_once(
       const PipelineTarget& target, const race::AnnotationSet* annotations,
       race::PrescreenView prescreen, std::uint64_t base_seed,
-      support::Budget& budget, StageCounts& counts) const;
+      support::Budget& budget, StageCounts& counts,
+      race::predict::TraceRecorder* recorder) const;
 
   PipelineOptions options_;
 };

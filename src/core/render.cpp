@@ -23,6 +23,13 @@ std::string render_cli_summary(const PipelineResult& result) {
     out += str_format("  checker findings:      %zu\n",
                       result.checker_findings.size());
   }
+  if (result.predict_ran) {
+    out += str_format(
+        "  predict: candidates=%zu pruned=%zu new=%zu avoided=%zu\n",
+        result.counts.predict_candidates, result.counts.predict_pruned,
+        result.counts.predict_new_confirmed,
+        result.counts.predict_schedules_avoided);
+  }
   out += str_format("  resilience:            %s\n",
                     result.counts.resilience_summary().c_str());
   if (result.degraded()) {

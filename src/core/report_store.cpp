@@ -13,6 +13,13 @@ std::string StageCounts::serialize() const {
   if (checkers_ran) {
     out += str_format("checkers: findings=%zu\n", checker_findings);
   }
+  if (predict_ran) {
+    out += str_format(
+        "predict: candidates=%zu pruned=%zu new_confirmed=%zu "
+        "schedules_avoided=%zu\n",
+        predict_candidates, predict_pruned, predict_new_confirmed,
+        predict_schedules_avoided);
+  }
   for (const support::FailureRecord& record : failures) {
     out += str_format(
         "failure: %s/%s steps=%llu retries=%u (%s)\n",

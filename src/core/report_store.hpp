@@ -34,6 +34,15 @@ struct StageCounts {
   std::size_t checker_findings = 0;
   bool checkers_ran = false;
 
+  // --- sync-preserving prediction (DESIGN.md §12) ---
+  /// Serialized only when `predict_ran`; off-mode output stays
+  /// byte-identical to pre-predictor builds.
+  std::size_t predict_candidates = 0;        ///< dynamic pairs SP-checked
+  std::size_t predict_pruned = 0;            ///< reports proved infeasible
+  std::size_t predict_new_confirmed = 0;     ///< predicted races replay kept
+  std::size_t predict_schedules_avoided = 0; ///< verifier attempts not run
+  bool predict_ran = false;
+
   // --- resilience accounting (Table 2/3's resilience column) ---
   /// Stage failures absorbed by the resilience layer. Non-empty means the
   /// row's numbers are best-effort under degradation, not a crash.

@@ -1,0 +1,38 @@
+// Pipeline-facing mode switch for sync-preserving race prediction
+// (DESIGN.md §12). Mirrors race/prescreen_view.hpp: kOff leaves every byte
+// of pipeline output untouched; kOn prunes the race verifier's candidate
+// set down to predicted-feasible reports (plus replay-confirmed predicted
+// races the observed schedules never exhibited); kAudit runs the normal
+// exhaustive path and only *checks* the predictor's verdicts against what
+// the verifier actually confirmed (advisory predict.audit_violations — a
+// verified race the predictor called infeasible is a soundness violation).
+#pragma once
+
+#include <string_view>
+
+namespace owl::race {
+
+enum class PredictMode {
+  kOff,    ///< predictor not consulted (default)
+  kOn,     ///< verifier sees only predicted-feasible candidates
+  kAudit,  ///< exhaustive path plus verdict cross-check (must agree)
+};
+
+inline std::string_view predict_mode_name(PredictMode mode) noexcept {
+  switch (mode) {
+    case PredictMode::kOff: return "off";
+    case PredictMode::kOn: return "on";
+    case PredictMode::kAudit: return "audit";
+  }
+  return "?";
+}
+
+inline bool parse_predict_mode(std::string_view text,
+                               PredictMode& out) noexcept {
+  if (text == "off") { out = PredictMode::kOff; return true; }
+  if (text == "on") { out = PredictMode::kOn; return true; }
+  if (text == "audit") { out = PredictMode::kAudit; return true; }
+  return false;
+}
+
+}  // namespace owl::race

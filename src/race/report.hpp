@@ -39,6 +39,8 @@ struct RaceReport {
 
   /// Filled in by pipeline stages.
   bool adhoc_sync = false;       ///< §5.1 classified the pair as adhoc sync
+  bool predicted = false;        ///< synthesized by the §12 SP predictor —
+                                 ///< dropped unless replay confirms it
   bool verified = false;         ///< §5.2 reproduced the racing moment
   std::string security_hint;     ///< §5.2 value/type/NULL-ness hints
 

@@ -13,11 +13,16 @@ ScheduleExplorationResult explore_schedules(const MachineFactory& factory,
                                             DetectorImpl impl,
                                             PrescreenView prescreen) {
   ScheduleExplorationResult result;
+  // One detector for the whole sweep, reset() between schedules: clock
+  // components, hash-table buckets, and report storage keep their capacity
+  // instead of being reallocated per schedule (bench-visible on the
+  // verifier's schedule-exploration hot loop).
+  SkiDetector detector(annotations, impl, prescreen);
   for (unsigned i = 0; i < num_schedules; ++i) {
     TRACE_SPAN("detect-schedule", "ski");
     support::metrics().counter("detector.schedules_explored").inc();
+    if (i != 0) detector.reset();
     std::unique_ptr<interp::Machine> machine = factory();
-    SkiDetector detector(annotations, impl, prescreen);
     machine->add_observer(&detector);
     interp::PctScheduler scheduler(base_seed + i, pct_depth,
                                    /*expected_steps=*/20000);

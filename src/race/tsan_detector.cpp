@@ -473,13 +473,38 @@ void TsanDetector::flush_metrics() {
   registry.advisory("detector.lazy_materializations")
       .inc(counters_.lazy_materializations);
   registry.counter("detector.reports_emitted").inc(reports_.size());
+  // Delta, not the cumulative total: a reset-and-reused detector must
+  // flush the same per-schedule page counts as a fresh one.
   registry.advisory("detector.shadow_pages")
-      .inc(fast_shadow_.pages_allocated());
+      .inc(fast_shadow_.pages_allocated() - shadow_pages_flushed_);
+  shadow_pages_flushed_ = fast_shadow_.pages_allocated();
   registry.advisory("prescreen.pruned_accesses")
       .inc(counters_.prescreen_pruned);
   registry.advisory("prescreen.audit_violations")
       .inc(counters_.prescreen_audit_violations);
   counters_ = SubstrateCounters{};  // flush-once: take_reports may re-run
+}
+
+void TsanDetector::reset() {
+  clocks_.clear();
+  lock_clocks_.clear();
+  sync_clocks_.clear();
+  finished_clocks_.clear();
+  shadow_.clear();
+  fast_shadow_.clear();
+  // Keep the dense tables at size: an empty clock is observably identical
+  // to a never-touched one (fast_finished_ explicitly treats empty as
+  // "never finished"), and clearing in place keeps each clock's component
+  // buffer for the next schedule.
+  for (VectorClock& clock : fast_clocks_) clock.clear();
+  for (VectorClock& clock : fast_finished_) clock.clear();
+  fast_lock_clocks_.clear();
+  fast_sync_clocks_.clear();
+  index_.clear();
+  reports_.clear();
+  watched_.clear();
+  dynamic_races_ = 0;
+  counters_ = SubstrateCounters{};
 }
 
 std::vector<RaceReport> TsanDetector::take_reports() {

@@ -81,6 +81,14 @@ class TsanDetector : public interp::Observer {
 
   DetectorImpl impl() const noexcept { return impl_; }
 
+  /// Returns the detector to its just-constructed observable state while
+  /// keeping every buffer's capacity (clock components, hash-table buckets,
+  /// report storage). explore_schedules reuses one detector across its
+  /// whole sweep through this instead of constructing a fresh one per
+  /// schedule — the per-schedule allocation churn (one heap vector per
+  /// thread clock per schedule) was bench-visible on the verifier hot loop.
+  void reset();
+
   /// Deduplicated reports in stable (key) order. Also flushes this run's
   /// SubstrateCounters into the global MetricsRegistry (one atomic add per
   /// counter, so the hot path itself stays metric-free).
@@ -186,6 +194,10 @@ class TsanDetector : public interp::Observer {
   /// Addresses whose reports still await a supplemental read / SKI logging.
   std::unordered_map<interp::Address, std::vector<std::size_t>> watched_;
   std::uint64_t dynamic_races_ = 0;
+  /// Shadow pages already flushed to the metrics registry — flush_metrics
+  /// records the delta so a reset-and-reused detector reports the same
+  /// per-schedule page counts as a fresh one.
+  std::uint64_t shadow_pages_flushed_ = 0;
   // mutable: the lazy-capture record builders are const member functions.
   mutable SubstrateCounters counters_;
 };

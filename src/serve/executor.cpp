@@ -111,6 +111,7 @@ ExecResult Executor::run(const std::string& module_text,
   pipeline_options.retry.max_retries = options.retries;
   pipeline_options.detector_impl = options.detector_impl;
   pipeline_options.prescreen = options.prescreen;
+  pipeline_options.predict = options.predict;
   pipeline_options.checkers = options.checkers;
   pipeline_options.manifest_tool = "owl_cli";
   if (pipeline_faults_ != nullptr && !pipeline_faults_->empty()) {
@@ -170,6 +171,17 @@ ExecResult Executor::run(const std::string& module_text,
       result.error += str_format(
           "owl_cli: prescreen audit: %llu pruned-but-raced "
           "access(es) falsify the static no-race verdict\n",
+          static_cast<unsigned long long>(violations));
+      result.exit_code = 3;
+    }
+  }
+  if (options.predict == race::PredictMode::kAudit) {
+    const std::uint64_t violations =
+        support::metrics().advisory("predict.audit_violations").value();
+    if (violations != 0) {
+      result.error += str_format(
+          "owl_cli: predict audit: %llu verified race(s) the "
+          "SP-closure wrongly called infeasible\n",
           static_cast<unsigned long long>(violations));
       result.exit_code = 3;
     }

@@ -79,6 +79,11 @@ bool AnalysisOptions::from_json(const JsonValue& value, AnalysisOptions& out,
           !race::parse_prescreen_mode(field.as_string(), out.prescreen)) {
         return bad(key);
       }
+    } else if (key == "predict") {
+      if (!field.is_string() ||
+          !race::parse_predict_mode(field.as_string(), out.predict)) {
+        return bad(key);
+      }
     } else if (key == "schedules") {
       std::uint64_t n = 0;
       if (!read_uint(field, n) || n == 0 || n > 1u << 20) return bad(key);
@@ -144,9 +149,10 @@ bool AnalysisOptions::from_json(const JsonValue& value, AnalysisOptions& out,
 
 std::string AnalysisOptions::canonical_blob(
     const std::string& target_name) const {
-  // v2: the blob gained checkers= and sarif= — the marker bump makes a
-  // v1 key and a v2 key differ even for requests with checkers off.
-  std::string out = "owl-options-v2\n";
+  // v3: the blob gained predict= (v2 added checkers=/sarif=) — the marker
+  // bump makes keys from older daemons differ even for predict-off
+  // requests.
+  std::string out = "owl-options-v3\n";
   out += "name=" + target_name + "\n";
   out += "entry=" + entry + "\n";
   out += "inputs=" + words_csv(inputs) + "\n";
@@ -159,6 +165,9 @@ std::string AnalysisOptions::canonical_blob(
   out += "\n";
   out += "prescreen=";
   out += race::prescreen_mode_name(prescreen);
+  out += "\n";
+  out += "predict=";
+  out += race::predict_mode_name(predict);
   out += "\n";
   out += str_format("schedules=%u\n", schedules);
   out += str_format("seed=%llu\n", static_cast<unsigned long long>(seed));
@@ -289,6 +298,7 @@ std::string serialize_request(const Request& request) {
                                                         : "\"reference\"";
   out += ",\"prescreen\":" +
          json_quote(race::prescreen_mode_name(opt.prescreen));
+  out += ",\"predict\":" + json_quote(race::predict_mode_name(opt.predict));
   out += str_format(",\"schedules\":%u", opt.schedules);
   out += str_format(",\"seed\":%lld", static_cast<long long>(opt.seed));
   out += str_format(",\"max_steps\":%llu",

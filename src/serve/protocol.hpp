@@ -58,6 +58,7 @@ struct AnalysisOptions {
   core::DetectorKind detector = core::DetectorKind::kTsan;
   race::DetectorImpl detector_impl = race::DetectorImpl::kFast;
   race::PrescreenMode prescreen = race::PrescreenMode::kOff;
+  race::PredictMode predict = race::PredictMode::kOff;
   unsigned schedules = 4;
   std::uint64_t seed = 1;
   std::uint64_t max_steps = 400'000;

@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -83,19 +84,56 @@ std::string cache_content_sha(const CacheEntry& entry) {
   return hash.hex_digest();
 }
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+ResultCache::ResultCache(std::string dir, std::size_t max_entries)
+    : dir_(std::move(dir)), max_entries_(max_entries) {
   if (dir_.empty()) return;
   ::mkdir(dir_.c_str(), 0755);  // EEXIST is fine; failures surface on use
   // Sweep temp files a killed writer left behind — they were never
-  // published, so deleting them cannot lose a committed entry.
+  // published, so deleting them cannot lose a committed entry. With a cap
+  // set, also seed the recency index from the surviving entries so LRU
+  // pressure carries across restarts: oldest mtime evicts first, names
+  // break ties so equal-mtime listings stay deterministic.
+  std::vector<std::pair<std::pair<std::int64_t, std::string>, std::string>>
+      seeded;
   if (DIR* handle = ::opendir(dir_.c_str())) {
     while (dirent* item = ::readdir(handle)) {
       const std::string name = item->d_name;
       if (ends_with(name, ".tmp")) {
         ::unlink((dir_ + "/" + name).c_str());
+      } else if (max_entries_ != 0 && ends_with(name, ".entry")) {
+        struct stat st = {};
+        std::int64_t mtime = 0;
+        if (::stat((dir_ + "/" + name).c_str(), &st) == 0) {
+          mtime = static_cast<std::int64_t>(st.st_mtime);
+        }
+        const std::string key = name.substr(0, name.size() - 6);
+        seeded.push_back({{mtime, name}, key});
       }
     }
     ::closedir(handle);
+  }
+  std::sort(seeded.begin(), seeded.end());
+  for (auto& [order, key] : seeded) {
+    lru_.push_back(key);
+    lru_index_.emplace(lru_.back(), std::prev(lru_.end()));
+  }
+  enforce_cap();
+}
+
+void ResultCache::touch(const std::string& key) {
+  if (max_entries_ == 0) return;
+  if (const auto it = lru_index_.find(key); it != lru_index_.end()) {
+    lru_.splice(lru_.end(), lru_, it->second);
+  } else {
+    lru_.push_back(key);
+    lru_index_.emplace(lru_.back(), std::prev(lru_.end()));
+  }
+}
+
+void ResultCache::enforce_cap() {
+  if (max_entries_ == 0) return;
+  while (lru_index_.size() > max_entries_) {
+    evict(lru_.front());  // also erases the index entry
   }
 }
 
@@ -159,6 +197,7 @@ bool ResultCache::load(const std::string& key, CacheEntry& out) {
   if (cache_content_sha(entry) != entry.content_sha) return corrupt();
   out = std::move(entry);
   ++hits_;
+  touch(key);
   return true;
 }
 
@@ -173,12 +212,18 @@ bool ResultCache::store(const std::string& key, CacheEntry& entry) {
   raw += entry.output;
   if (!write_file_atomic(entry_path(key), raw)) return false;
   ++stores_;
+  touch(key);
+  enforce_cap();
   return true;
 }
 
 void ResultCache::evict(const std::string& key) {
   if (!enabled()) return;
   if (::unlink(entry_path(key).c_str()) == 0) ++evictions_;
+  if (const auto it = lru_index_.find(key); it != lru_index_.end()) {
+    lru_.erase(it->second);
+    lru_index_.erase(it);
+  }
 }
 
 }  // namespace owl::serve

@@ -20,7 +20,9 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <string>
+#include <unordered_map>
 
 namespace owl::serve {
 
@@ -39,8 +41,12 @@ class ResultCache {
  public:
   /// A cache rooted at `dir` ("" disables: every lookup misses, every
   /// store is dropped). Creates the directory and sweeps stale *.tmp
-  /// files left by a killed writer.
-  explicit ResultCache(std::string dir);
+  /// files left by a killed writer. `max_entries` caps the on-disk entry
+  /// count (0 = unlimited): once a store pushes the cache past the cap,
+  /// the least-recently-used entries are unlinked. Recency is seeded from
+  /// the directory listing (mtime, then name — deterministic across
+  /// equal-mtime restarts) and updated on every hit and store.
+  explicit ResultCache(std::string dir, std::size_t max_entries = 0);
 
   bool enabled() const noexcept { return !dir_.empty(); }
 
@@ -70,8 +76,23 @@ class ResultCache {
   std::uint64_t evictions() const noexcept { return evictions_; }
   std::uint64_t stores() const noexcept { return stores_; }
 
+  /// Keys currently tracked by the LRU index (== on-disk entries, absent
+  /// outside interference). Exposed for the eviction tests.
+  std::size_t tracked_entries() const noexcept { return lru_index_.size(); }
+
  private:
+  /// Marks `key` most-recently-used (inserting it if untracked).
+  void touch(const std::string& key);
+  /// Unlinks least-recently-used entries until the cap is respected.
+  void enforce_cap();
+
   std::string dir_;
+  std::size_t max_entries_ = 0;  ///< 0 = unlimited
+  /// Recency order, least-recently-used first; only maintained when a cap
+  /// is set (an unlimited cache never pays the bookkeeping).
+  std::list<std::string> lru_;
+  std::unordered_map<std::string, std::list<std::string>::iterator>
+      lru_index_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;

@@ -36,7 +36,7 @@ void corrupt_entry_file(const std::string& path) {
 
 ServiceCore::ServiceCore(Config config)
     : config_(std::move(config)),
-      cache_(config_.cache_dir),
+      cache_(config_.cache_dir, config_.cache_max_entries),
       journal_(),
       executor_(config_.pipeline_faults),
       queue_(config_.queue_depth, config_.max_inflight_per_client) {

@@ -76,6 +76,9 @@ class ServiceCore {
 
   struct Config {
     std::string cache_dir;       ///< "" = result cache off
+    /// Result-cache entry cap (0 = unlimited): storing past the cap
+    /// unlinks the least-recently-used entries (--cache-max-entries).
+    std::size_t cache_max_entries = 0;
     std::string journal_path;    ///< "" = crash-recovery journal off
     std::size_t queue_depth = 32;
     std::size_t max_inflight_per_client = 8;

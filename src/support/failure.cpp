@@ -6,6 +6,7 @@ std::string_view pipeline_stage_name(PipelineStage stage) noexcept {
   switch (stage) {
     case PipelineStage::kDetection: return "detection";
     case PipelineStage::kAnnotation: return "annotation";
+    case PipelineStage::kPredict: return "predict";
     case PipelineStage::kRaceVerification: return "race-verification";
     case PipelineStage::kVulnAnalysis: return "vuln-analysis";
     case PipelineStage::kVulnVerification: return "vuln-verification";

@@ -24,6 +24,7 @@ namespace owl::support {
 enum class PipelineStage {
   kDetection,         ///< step (1): raw detection runs
   kAnnotation,        ///< step (2): adhoc-sync classification + re-run
+  kPredict,           ///< sync-preserving race prediction (DESIGN.md §12)
   kRaceVerification,  ///< step (3): dynamic race verifier
   kVulnAnalysis,      ///< step (4): static vulnerability analysis
   kVulnVerification,  ///< step (5): dynamic vulnerability verifier

@@ -35,6 +35,8 @@ bool parse_fault_plan(std::string_view text, FaultPlan& plan) {
     plan.stage = PipelineStage::kDetection;
   } else if (parts[0] == "annotate") {
     plan.stage = PipelineStage::kAnnotation;
+  } else if (parts[0] == "predict") {
+    plan.stage = PipelineStage::kPredict;
   } else if (parts[0] == "race-verify") {
     plan.stage = PipelineStage::kRaceVerification;
   } else if (parts[0] == "vuln-analyze") {

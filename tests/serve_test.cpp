@@ -399,6 +399,109 @@ TEST(ResultCacheTest, SweepsStaleTempFilesOnOpen) {
   EXPECT_TRUE(read_file(dir.path() + "/killed-writer.tmp").empty());
 }
 
+TEST(ResultCacheTest, LruCapEvictsOldestOnStore) {
+  TempDir dir;
+  ResultCache cache(dir.path(), /*max_entries=*/2);
+  const auto key = [](int i) {
+    return ResultCache::key_for("m" + std::to_string(i), "o");
+  };
+  CacheEntry entry;
+  entry.output = "payload";
+  ASSERT_TRUE(cache.store(key(1), entry));
+  ASSERT_TRUE(cache.store(key(2), entry));
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.tracked_entries(), 2u);
+
+  // The third store pushes past the cap: key(1) is oldest, so it goes.
+  ASSERT_TRUE(cache.store(key(3), entry));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.tracked_entries(), 2u);
+  CacheEntry loaded;
+  EXPECT_FALSE(cache.load(key(1), loaded));
+  EXPECT_TRUE(read_file(cache.entry_path(key(1))).empty());
+  EXPECT_TRUE(cache.load(key(2), loaded));
+  EXPECT_TRUE(cache.load(key(3), loaded));
+
+  // An evicted key simply recomputes and stores cleanly.
+  ASSERT_TRUE(cache.store(key(1), entry));
+  EXPECT_TRUE(cache.load(key(1), loaded));
+  EXPECT_EQ(loaded.output, entry.output);
+  EXPECT_EQ(cache.tracked_entries(), 2u);
+}
+
+TEST(ResultCacheTest, LruCapHitRefreshesRecency) {
+  TempDir dir;
+  ResultCache cache(dir.path(), /*max_entries=*/2);
+  const std::string a = ResultCache::key_for("a", "o");
+  const std::string b = ResultCache::key_for("b", "o");
+  const std::string c = ResultCache::key_for("c", "o");
+  CacheEntry entry;
+  entry.output = "payload";
+  ASSERT_TRUE(cache.store(a, entry));
+  ASSERT_TRUE(cache.store(b, entry));
+
+  // Touch `a`: now `b` is the LRU victim of the next store.
+  CacheEntry loaded;
+  ASSERT_TRUE(cache.load(a, loaded));
+  ASSERT_TRUE(cache.store(c, entry));
+  EXPECT_TRUE(cache.load(a, loaded));
+  EXPECT_FALSE(cache.load(b, loaded));
+  EXPECT_TRUE(cache.load(c, loaded));
+}
+
+TEST(ResultCacheTest, LruCapSeedsRecencyFromDirectoryOnRestart) {
+  TempDir dir;
+  const std::string a = ResultCache::key_for("a", "o");
+  const std::string b = ResultCache::key_for("b", "o");
+  CacheEntry entry;
+  entry.output = "payload";
+  {
+    ResultCache cache(dir.path(), /*max_entries=*/4);
+    ASSERT_TRUE(cache.store(a, entry));
+    ASSERT_TRUE(cache.store(b, entry));
+  }
+  // A restarted cache adopts the surviving entries; a store within the cap
+  // evicts nothing, one past it evicts the seeded survivors first.
+  ResultCache cache(dir.path(), /*max_entries=*/2);
+  EXPECT_EQ(cache.tracked_entries(), 2u);
+  ASSERT_TRUE(cache.store(ResultCache::key_for("c", "o"), entry));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.tracked_entries(), 2u);
+}
+
+TEST(ResultCacheTest, LruCapTighterThanDirectoryPrunesOnOpen) {
+  TempDir dir;
+  CacheEntry entry;
+  entry.output = "payload";
+  {
+    ResultCache cache(dir.path());  // unlimited
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(cache.store(
+          ResultCache::key_for("m" + std::to_string(i), "o"), entry));
+    }
+  }
+  ResultCache cache(dir.path(), /*max_entries=*/2);
+  EXPECT_EQ(cache.tracked_entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 3u);
+}
+
+TEST(ResultCacheTest, UnlimitedCacheNeverEvictsForCapacity) {
+  TempDir dir;
+  ResultCache cache(dir.path());  // max_entries = 0
+  CacheEntry entry;
+  entry.output = "payload";
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cache.store(
+        ResultCache::key_for("m" + std::to_string(i), "o"), entry));
+  }
+  EXPECT_EQ(cache.evictions(), 0u);
+  CacheEntry loaded;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(cache.load(ResultCache::key_for("m" + std::to_string(i), "o"),
+                           loaded));
+  }
+}
+
 // ---- journal ----
 
 TEST(JournalTest, RecoversAcceptedWithoutCompleted) {

@@ -27,6 +27,13 @@
 //                          accesses), or audit (full detection plus
 //                          pruned-but-raced violation counting; a nonzero
 //                          violation count exits 3). Also --prescreen=MODE
+//   --predict MODE         sync-preserving race prediction (DESIGN.md §12):
+//                          off (default), on (the race verifier replays only
+//                          predicted-feasible candidates, plus predicted
+//                          races the observed schedules never exhibited), or
+//                          audit (exhaustive path plus verdict cross-check;
+//                          a nonzero violation count exits 3). Also
+//                          --predict=MODE
 //   --schedules N          detection schedules (default: 4)
 //   --seed S               base schedule seed (default: 1)
 //   --max-steps N          per-run instruction budget (default: 400000)
@@ -65,7 +72,7 @@
 //
 // Exit status: 0 when the pipeline ran (regardless of findings), 1 on
 // usage/parse errors, 2 when the module fails verification, 3 when
-// --prescreen audit observed soundness violations.
+// --prescreen audit or --predict audit observed soundness violations.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -98,6 +105,7 @@ struct CliOptions {
   core::DetectorKind detector = core::DetectorKind::kTsan;
   race::DetectorImpl detector_impl = race::DetectorImpl::kFast;
   race::PrescreenMode prescreen = race::PrescreenMode::kOff;
+  race::PredictMode predict = race::PredictMode::kOff;
   unsigned schedules = 4;
   std::uint64_t seed = 1;
   std::uint64_t max_steps = 400'000;
@@ -126,7 +134,7 @@ void usage() {
                "       [--entry main] [--inputs a,b,c] [--jobs N] [--timings]\n"
                "       [--detector tsan|ski|atomicity] [--schedules N]\n"
                "       [--detector-impl fast|reference]\n"
-               "       [--prescreen off|on|audit]\n"
+               "       [--prescreen off|on|audit] [--predict off|on|audit]\n"
                "       [--seed S] [--max-steps N] [--no-adhoc]\n"
                "       [--no-race-verifier] [--no-vuln-verifier]\n"
                "       [--whole-program] [--print-module] [--print-reports]\n"
@@ -201,6 +209,15 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       }
     } else if (arg.rfind("--prescreen=", 0) == 0) {
       if (!race::parse_prescreen_mode(arg.substr(12), options.prescreen)) {
+        return false;
+      }
+    } else if (arg == "--predict") {
+      const char* v = next();
+      if (v == nullptr || !race::parse_predict_mode(v, options.predict)) {
+        return false;
+      }
+    } else if (arg.rfind("--predict=", 0) == 0) {
+      if (!race::parse_predict_mode(arg.substr(10), options.predict)) {
         return false;
       }
     } else if (arg == "--schedules") {
@@ -395,6 +412,7 @@ int main(int argc, char** argv) {
   pipeline_options.retry.max_retries = options.retries;
   pipeline_options.detector_impl = options.detector_impl;
   pipeline_options.prescreen = options.prescreen;
+  pipeline_options.predict = options.predict;
   pipeline_options.checkers = options.checkers;
   pipeline_options.jobs = jobs;
   pipeline_options.manifest_path = options.manifest_out;
@@ -484,6 +502,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "owl_cli: prescreen audit: %llu pruned-but-raced "
                    "access(es) falsify the static no-race verdict\n",
+                   static_cast<unsigned long long>(violations));
+      status = 3;
+    }
+  }
+  if (options.predict == race::PredictMode::kAudit) {
+    const std::uint64_t violations =
+        support::metrics().advisory("predict.audit_violations").value();
+    if (violations != 0) {
+      std::fprintf(stderr,
+                   "owl_cli: predict audit: %llu verified race(s) the "
+                   "SP-closure wrongly called infeasible\n",
                    static_cast<unsigned long long>(violations));
       status = 3;
     }

@@ -19,6 +19,10 @@
 //                          keyed by (module sha, options sha), entries are
 //                          integrity-verified on read and corrupt ones are
 //                          evicted, never served
+//   --cache-max-entries N  cap on cached entries (default: 0 = unlimited);
+//                          a store past the cap unlinks the least-recently-
+//                          used entries, and an evicted key simply
+//                          recomputes on its next request
 //   --journal FILE         append-only request journal (default: off);
 //                          accepted-but-unsettled requests survive kill -9
 //                          and are replayed into the cache on restart
@@ -52,6 +56,7 @@ namespace {
 struct ServedOptions {
   std::string socket_path;
   std::string cache_dir;
+  std::size_t cache_max_entries = 0;
   std::string journal_path;
   std::size_t queue_depth = 32;
   std::size_t max_inflight = 8;
@@ -64,7 +69,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: owl_served --socket PATH\n"
                "       [--queue-depth N] [--max-inflight N]\n"
-               "       [--cache-dir DIR] [--journal FILE]\n"
+               "       [--cache-dir DIR] [--cache-max-entries N]\n"
+               "       [--journal FILE]\n"
                "       [--retry-after-ms N] [--fault-seed S]\n"
                "       [--inject-fault stage:kind[:after]]\n");
 }
@@ -83,6 +89,11 @@ bool parse_args(int argc, char** argv, ServedOptions& options) {
       const char* v = next();
       if (v == nullptr || *v == '\0') return false;
       options.cache_dir = v;
+    } else if (arg == "--cache-max-entries") {
+      const char* v = next();
+      std::int64_t n = 0;
+      if (v == nullptr || !parse_int64(v, n) || n < 0) return false;
+      options.cache_max_entries = static_cast<std::size_t>(n);
     } else if (arg == "--journal") {
       const char* v = next();
       if (v == nullptr || *v == '\0') return false;
@@ -166,6 +177,7 @@ int main(int argc, char** argv) {
 
   serve::ServiceCore::Config config;
   config.cache_dir = options.cache_dir;
+  config.cache_max_entries = options.cache_max_entries;
   config.journal_path = options.journal_path;
   config.queue_depth = options.queue_depth;
   config.max_inflight_per_client = options.max_inflight;
