@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Structurally validate an OWL repair report (repair/engine.cpp).
+
+Hand-rolled on purpose: CI containers only carry the Python stdlib, so
+this checks the owl-repair-v1 shape without a jsonschema dependency:
+
+  - schema == "owl-repair-v1", nonempty target
+  - status in {repaired, unrepaired, no_races}
+  - strategy in {lock_reuse, relocate, lock_insert} when repaired,
+    absent/empty otherwise
+  - when repaired: all three gates (race_free, no_new_findings,
+    output_equal) are true, fixed_module is the target stem +
+    "_fixed.mir", candidates_tried >= 1, races non-empty
+  - when no_races: candidates_tried == 0 and races empty
+  - every races[] entry has nonempty object/first/second strings
+
+Usage:
+    check_repair.py REPORT.json                          # shape only
+    check_repair.py REPORT.json --expect status=repaired
+    check_repair.py REPORT.json --expect strategy=lock_insert
+
+--expect KEY=VALUE pins one top-level string field (status, strategy,
+lock, fixed_module); repeatable. Exit 0 iff every check passes. Used by
+scripts/ci.sh's repair stage to gate the planted-example ground truth.
+"""
+
+import argparse
+import json
+import sys
+
+STATUSES = {"repaired", "unrepaired", "no_races"}
+STRATEGIES = {"lock_reuse", "relocate", "lock_insert"}
+EXPECTABLE = {"status", "strategy", "lock", "fixed_module"}
+
+
+def fail(msg):
+    sys.exit(f"check_repair.py: {msg}")
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_races(races):
+    require(isinstance(races, list), "races is not an array")
+    for i, race in enumerate(races):
+        label = f"races[{i}]"
+        require(isinstance(race, dict), f"{label}: not an object")
+        for key in ("object", "first", "second"):
+            value = race.get(key)
+            require(
+                isinstance(value, str) and value,
+                f"{label}: {key} must be a nonempty string, got {value!r}",
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="repair report JSON to validate")
+    parser.add_argument(
+        "--expect",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="require this exact value for a top-level string field",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot read {args.report}: {err}")
+
+    require(isinstance(report, dict), "top level is not a JSON object")
+    require(
+        report.get("schema") == "owl-repair-v1",
+        f"schema {report.get('schema')!r} != 'owl-repair-v1'",
+    )
+    target = report.get("target")
+    require(
+        isinstance(target, str) and target,
+        f"target must be a nonempty string, got {target!r}",
+    )
+    status = report.get("status")
+    require(status in STATUSES, f"status {status!r} not in {sorted(STATUSES)}")
+
+    tried = report.get("candidates_tried")
+    require(
+        isinstance(tried, int) and tried >= 0,
+        f"candidates_tried must be a non-negative int, got {tried!r}",
+    )
+    gates = report.get("gates")
+    require(isinstance(gates, dict), "gates is not an object")
+    for key in ("race_free", "no_new_findings", "output_equal"):
+        require(
+            isinstance(gates.get(key), bool),
+            f"gates.{key} must be a bool, got {gates.get(key)!r}",
+        )
+    check_races(report.get("races"))
+
+    stem = target.rsplit("/", 1)[-1]
+    if stem.endswith(".mir"):
+        stem = stem[: -len(".mir")]
+    if status == "repaired":
+        require(
+            report.get("strategy") in STRATEGIES,
+            f"repaired report needs a strategy in {sorted(STRATEGIES)}, "
+            f"got {report.get('strategy')!r}",
+        )
+        for key in ("race_free", "no_new_findings", "output_equal"):
+            require(gates[key], f"repaired report with gates.{key} == false")
+        require(
+            report.get("fixed_module") == f"{stem}_fixed.mir",
+            f"fixed_module {report.get('fixed_module')!r} != "
+            f"'{stem}_fixed.mir'",
+        )
+        require(tried >= 1, "repaired report with candidates_tried == 0")
+        require(len(report["races"]) >= 1, "repaired report with no races")
+    elif status == "no_races":
+        require(tried == 0, "no_races report with candidates_tried != 0")
+        require(not report["races"], "no_races report with races listed")
+
+    for spec in args.expect:
+        key, sep, want = spec.partition("=")
+        if not sep or key not in EXPECTABLE:
+            fail(f"bad --expect {spec!r} (want KEY=VALUE with KEY in "
+                 f"{sorted(EXPECTABLE)})")
+        got = report.get(key, "")
+        require(got == want, f"expected {key}={want!r}, got {got!r}")
+
+    print(
+        f"check_repair.py: OK: {args.report}: status={status} "
+        f"strategy={report.get('strategy', '') or '-'} "
+        f"candidates={tried} races={len(report['races'])}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -11,19 +11,46 @@
 #   differential  jobs/impl/manifest differential gates on the examples
 #   serve         owl_served robustness + differential gate under
 #                 ASan+UBSan (shares the asan tree)
+#   repair        automated race repair gate: every confirmed-race example
+#                 must yield a verified *_fixed.mir matching the committed
+#                 golden, byte-identical across jobs/repeat runs
 #   bench         release bench tree + benchmark-regression gate
 #   all           every stage above, in that order (the default)
 #
 # Stages assume `build` ran first (the GitHub matrix gives each stage its
 # own job and runs `build` as its first step; locally `all` orders them).
-# Any failure fails the script and names the step that died.
+# OWL_CI_REUSE_BUILD=1 skips the configure+compile of a tree whose
+# binaries already exist (build/ and build-asan/), so chained local
+# invocations — e.g. `ci.sh differential serve repair` after one `build`
+# — pay for compilation once. Any failure fails the script and names the
+# step that died. Per-stage wall-clock prints at exit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 current_step="startup"
 trap 'echo "ci.sh: FAILED during: ${current_step}" >&2' ERR
 
+stage_times=()
+print_stage_times() {
+  [ ${#stage_times[@]} -gt 0 ] || return 0
+  echo "ci.sh: per-stage wall-clock:"
+  for entry in "${stage_times[@]}"; do
+    echo "  ${entry}"
+  done
+}
+trap print_stage_times EXIT
+
+run_stage() {
+  # Deliberately unique names: bash locals are dynamically scoped, so a
+  # plain `name` would be visible to — and clobbered by — the stage body.
+  local run_stage_name="$1"
+  local run_stage_started="${SECONDS}"
+  "stage_${run_stage_name}"
+  stage_times+=("${run_stage_name}: $((SECONDS - run_stage_started))s")
+}
+
 jobs="$(nproc)"
+reuse_build="${OWL_CI_REUSE_BUILD:-0}"
 
 # ccache cuts the matrix's rebuild cost; configure with it only when the
 # host actually has it so a bare container still works.
@@ -33,11 +60,15 @@ if command -v ccache > /dev/null 2>&1; then
 fi
 
 stage_build() {
-  current_step="configure"
-  cmake -B build -S . ${launcher_args[@]+"${launcher_args[@]}"}
+  if [ "${reuse_build}" = "1" ] && [ -x build/tools/owl_cli ]; then
+    echo "ci.sh: OWL_CI_REUSE_BUILD=1: reusing existing build/ tree"
+  else
+    current_step="configure"
+    cmake -B build -S . ${launcher_args[@]+"${launcher_args[@]}"}
 
-  current_step="build"
-  cmake --build build -j"${jobs}"
+    current_step="build"
+    cmake --build build -j"${jobs}"
+  fi
 
   # Workflow lint: actionlint when available, else a YAML parse via
   # python3 — enough to catch a syntactically broken ci.yml in-repo.
@@ -59,13 +90,17 @@ stage_ctest() {
 
 # Sanitizer pass: a separate tree so the regular build stays reusable.
 stage_asan() {
-  current_step="configure (ASan+UBSan)"
-  cmake -B build-asan -S . ${launcher_args[@]+"${launcher_args[@]}"} \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  if [ "${reuse_build}" = "1" ] && [ -x build-asan/tests/owl_unit_tests ]; then
+    echo "ci.sh: OWL_CI_REUSE_BUILD=1: reusing existing build-asan/ tree"
+  else
+    current_step="configure (ASan+UBSan)"
+    cmake -B build-asan -S . ${launcher_args[@]+"${launcher_args[@]}"} \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 
-  current_step="build owl_unit_tests (ASan+UBSan)"
-  cmake --build build-asan -j"${jobs}" --target owl_unit_tests
+    current_step="build owl_unit_tests (ASan+UBSan)"
+    cmake --build build-asan -j"${jobs}" --target owl_unit_tests
+  fi
 
   current_step="run owl_unit_tests (ASan+UBSan)"
   ./build-asan/tests/owl_unit_tests
@@ -400,14 +435,20 @@ EOF
 # SIGTERM drain, corrupt-entry eviction, kill -9 journal recovery, and the
 # 1k-request soak — runs against sanitized binaries.
 stage_serve() {
-  current_step="configure (ASan+UBSan serve tree)"
-  cmake -B build-asan -S . ${launcher_args[@]+"${launcher_args[@]}"} \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  if [ "${reuse_build}" = "1" ] && [ -x build-asan/tools/owl_served ] \
+     && [ -x build-asan/tools/owl_cli ] \
+     && [ -x build-asan/tests/owl_integration_tests ]; then
+    echo "ci.sh: OWL_CI_REUSE_BUILD=1: reusing existing build-asan/ tree"
+  else
+    current_step="configure (ASan+UBSan serve tree)"
+    cmake -B build-asan -S . ${launcher_args[@]+"${launcher_args[@]}"} \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 
-  current_step="build owl_served/owl_cli/integration tests (ASan+UBSan)"
-  cmake --build build-asan -j"${jobs}" \
-    --target owl_served owl_cli owl_integration_tests
+    current_step="build owl_served/owl_cli/integration tests (ASan+UBSan)"
+    cmake --build build-asan -j"${jobs}" \
+      --target owl_served owl_cli owl_integration_tests
+  fi
 
   current_step="run serve lifecycle tests (ASan+UBSan)"
   ./build-asan/tests/owl_integration_tests --gtest_filter='Serve*'
@@ -417,6 +458,140 @@ stage_serve() {
     --served build-asan/tools/owl_served \
     --cli build-asan/tools/owl_cli \
     --examples examples/ir
+}
+
+# Repair-differential gate (DESIGN.md §13). Four promises:
+#   (a) every confirmed-race example yields a *_fixed.mir whose report
+#       passes the owl-repair-v1 schema with the planted strategy, and
+#       race-free examples report no_races;
+#   (b) re-running the full pipeline on each fixed module — fast detector,
+#       --predict on, --checkers all — confirms zero races and no checker
+#       finding the original did not already have;
+#   (c) the produced fixed modules are byte-identical to the committed
+#       goldens in examples/fixed/, across jobs=1/4 and repeat runs;
+#   (d) a run without --repair never mentions the stage (off-mode purity).
+stage_repair() {
+  current_step="collect examples (repair)"
+  examples=(examples/ir/*.mir)
+
+  current_step="repair off-mode purity"
+  ./build/tools/owl_cli --jobs 1 --print-reports \
+    "${examples[@]}" > build/out-repair-off.txt
+  if grep -q "repair" build/out-repair-off.txt; then
+    echo "ci.sh: output without --repair mentions the repair stage" >&2
+    exit 1
+  fi
+
+  current_step="repair sweep (per example, schema validation)"
+  rm -rf build/repair-out
+  for example in "${examples[@]}"; do
+    stem="$(basename "$example" .mir)"
+    ./build/tools/owl_cli "$example" --jobs 1 -q \
+      --repair build/repair-out > /dev/null
+    [ -f "build/repair-out/${stem}_repair.json" ] \
+      || { echo "ci.sh: $stem: no repair report emitted" >&2; exit 1; }
+    python3 scripts/check_repair.py "build/repair-out/${stem}_repair.json"
+  done
+
+  # Planted ground truth: which examples repair, with which strategy, and
+  # which are race-free. A new example must be added to exactly one list.
+  current_step="repair planted ground truth"
+  repaired="cv_missed_wakeup=lock_insert double_fetch=lock_insert \
+    fnptr_dispatch=lock_insert guarded_publish=lock_insert \
+    lost_update=lock_insert null_publish=lock_insert \
+    spawn_window=relocate stale_handoff=lock_insert \
+    threadlocal_noise=lock_insert toctou=lock_insert"
+  race_free="atomicity_split double_unlock lock_cycle predicted_only"
+  for spec in $repaired; do
+    stem="${spec%%=*}"
+    strategy="${spec##*=}"
+    python3 scripts/check_repair.py "build/repair-out/${stem}_repair.json" \
+      --expect status=repaired --expect "strategy=${strategy}" \
+      || { echo "ci.sh: $stem did not repair via ${strategy}" >&2; exit 1; }
+  done
+  for stem in $race_free; do
+    python3 scripts/check_repair.py "build/repair-out/${stem}_repair.json" \
+      --expect status=no_races \
+      || { echo "ci.sh: race-free $stem no longer reports no_races" >&2
+           exit 1; }
+  done
+  for example in "${examples[@]}"; do
+    stem="$(basename "$example" .mir)"
+    case " ${repaired} ${race_free} " in
+      *" ${stem}="*|*" ${stem} "*) ;;
+      *) echo "ci.sh: $stem.mir missing from the repair ground truth" >&2
+         exit 1 ;;
+    esac
+  done
+
+  current_step="repair golden diff (examples/fixed)"
+  for golden in examples/fixed/*_fixed.mir; do
+    name="$(basename "$golden")"
+    diff -u "$golden" "build/repair-out/$name" \
+      || { echo "ci.sh: $name diverged from the committed golden" >&2
+           exit 1; }
+  done
+  for produced in build/repair-out/*_fixed.mir; do
+    name="$(basename "$produced")"
+    [ -f "examples/fixed/$name" ] \
+      || { echo "ci.sh: produced $name has no committed golden" >&2
+           exit 1; }
+  done
+
+  current_step="repair re-verification of fixed modules"
+  for fixed in examples/fixed/*_fixed.mir; do
+    stem="$(basename "$fixed" _fixed.mir)"
+    ./build/tools/owl_cli "$fixed" --jobs 1 --predict on --checkers all \
+      > "build/repair-verify-$stem.txt"
+    grep -q "verified races:        0" "build/repair-verify-$stem.txt" \
+      || { echo "ci.sh: fixed $stem still has verified races" >&2; exit 1; }
+    fixed_findings="$(sed -n 's/.*checker findings: *//p' \
+      "build/repair-verify-$stem.txt" | head -1)"
+    ./build/tools/owl_cli "examples/ir/$stem.mir" --jobs 1 -q --checkers all \
+      > "build/repair-orig-$stem.txt"
+    orig_findings="$(sed -n 's/.*checker findings: *//p' \
+      "build/repair-orig-$stem.txt" | head -1)"
+    [ "$fixed_findings" = "$orig_findings" ] \
+      || { echo "ci.sh: fixed $stem has $fixed_findings checker finding(s)," \
+                "original had $orig_findings" >&2
+           exit 1; }
+  done
+
+  current_step="repair jobs=1 vs jobs=4 + repeat-run byte-identity"
+  rm -rf build/repair-out-j1 build/repair-out-j4 build/repair-out-repeat
+  ./build/tools/owl_cli --jobs 1 --print-reports \
+    --repair build/repair-out-j1 --manifest build/manifest-repair-j1.json \
+    "${examples[@]}" > build/out-repair-j1.txt
+  ./build/tools/owl_cli --jobs 4 --print-reports \
+    --repair build/repair-out-j4 --manifest build/manifest-repair-j4.json \
+    "${examples[@]}" > build/out-repair-j4.txt
+  diff -u build/out-repair-j1.txt build/out-repair-j4.txt \
+    || { echo "ci.sh: jobs=4 repair output diverged from jobs=1" >&2
+         exit 1; }
+  diff -r build/repair-out-j1 build/repair-out-j4 \
+    || { echo "ci.sh: jobs=4 repair artifacts diverged from jobs=1" >&2
+         exit 1; }
+  python3 scripts/manifest_diff.py \
+    build/manifest-repair-j1.json build/manifest-repair-j4.json \
+    || { echo "ci.sh: jobs=4 repair manifest diverged from jobs=1" >&2
+         exit 1; }
+  ./build/tools/owl_cli --jobs 4 --print-reports \
+    --repair build/repair-out-repeat \
+    "${examples[@]}" > build/out-repair-repeat.txt
+  diff -u build/out-repair-j4.txt build/out-repair-repeat.txt \
+    || { echo "ci.sh: repeat repair run produced different output" >&2
+         exit 1; }
+  diff -r build/repair-out-j4 build/repair-out-repeat \
+    || { echo "ci.sh: repeat repair run produced different artifacts" >&2
+         exit 1; }
+
+  current_step="repair fault degradation (repair:throw)"
+  ./build/tools/owl_cli examples/ir/lost_update.mir --jobs 1 \
+    --repair build/repair-out-fault --inject-fault repair:throw \
+    > build/out-repair-fault.txt
+  grep -q "degraded(repair:" build/out-repair-fault.txt \
+    || { echo "ci.sh: repair:throw did not degrade the repair stage" >&2
+         exit 1; }
 }
 
 stage_bench() {
@@ -493,25 +668,27 @@ fi
 
 for stage in "${stages[@]}"; do
   case "$stage" in
-    build)        stage_build ;;
-    ctest)        stage_ctest ;;
-    asan)         stage_asan ;;
-    tsan)         stage_tsan ;;
-    differential) stage_differential ;;
-    serve)        stage_serve ;;
-    bench)        stage_bench ;;
+    build)        run_stage build ;;
+    ctest)        run_stage ctest ;;
+    asan)         run_stage asan ;;
+    tsan)         run_stage tsan ;;
+    differential) run_stage differential ;;
+    serve)        run_stage serve ;;
+    repair)       run_stage repair ;;
+    bench)        run_stage bench ;;
     all)
-      stage_build
-      stage_ctest
-      stage_asan
-      stage_tsan
-      stage_differential
-      stage_serve
-      stage_bench
+      run_stage build
+      run_stage ctest
+      run_stage asan
+      run_stage tsan
+      run_stage differential
+      run_stage serve
+      run_stage repair
+      run_stage bench
       ;;
     *)
       echo "ci.sh: unknown stage '$stage'" >&2
-      echo "usage: scripts/ci.sh [build|ctest|asan|tsan|differential|serve|bench|all]" >&2
+      echo "usage: scripts/ci.sh [build|ctest|asan|tsan|differential|serve|repair|bench|all]" >&2
       exit 1
       ;;
   esac

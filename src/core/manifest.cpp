@@ -34,6 +34,13 @@ std::string counts_json(const StageCounts& counts) {
     // checkers-off runs stay byte-identical to pre-suite ones.
     out += str_format("\"checker_findings\":%zu,", counts.checker_findings);
   }
+  if (counts.repair_ran) {
+    // Same gating for the repair stage: off-mode manifests carry no
+    // repair keys at all.
+    out += str_format("\"repair_status\":%s,\"repair_candidates\":%zu,",
+                      json_quote(counts.repair_status).c_str(),
+                      counts.repair_candidates);
+  }
   out += str_format("\"resilience\":%s,\"failures\":[",
                     json_quote(counts.resilience_summary()).c_str());
   for (std::size_t i = 0; i < counts.failures.size(); ++i) {
@@ -147,6 +154,10 @@ std::string render_manifest(const std::string& tool,
     // Echoed only when enabled — checkers-off manifests keep the
     // pre-suite options block byte for byte.
     kv.emplace_back("checkers", options.checkers.canonical());
+  }
+  if (options.repair.enabled) {
+    // Same off-mode discipline as the checkers echo above.
+    kv.emplace_back("repair", "on");
   }
 
   std::vector<ManifestTarget> metas;

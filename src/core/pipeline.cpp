@@ -8,6 +8,7 @@
 #include "core/manifest.hpp"
 #include "race/atomicity_detector.hpp"
 #include "race/predict/sp_predictor.hpp"
+#include "repair/engine.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/strings.hpp"
@@ -705,6 +706,42 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
                    << result.confirmed_attacks() << " realized";
   }
 
+  // ---- repair stage (optional, DESIGN.md §13) ----
+  // Closes the loop on the confirmed races: synthesize candidate patches,
+  // verify each by re-running the pipeline machinery above on the patched
+  // module (race-freedom incl. --predict on, checker differential, output
+  // equivalence), report the first winner. Nested verification pipelines
+  // run with repair disabled — the stage never recurses. Degrades, never
+  // dies, like every other stage.
+  if (options_.repair.enabled && target.module != nullptr &&
+      module_static.has_value()) {
+    TRACE_SPAN("repair", target.name);
+    const StageTimer timer(options_.stage_timings, "repair");
+    if (injector != nullptr) injector->begin_stage(PipelineStage::kRepair);
+    result.repair_ran = true;
+    result.counts.repair_ran = true;
+    std::vector<race::RaceReport> confirmed;
+    for (const race::RaceReport& report :
+         result.store.stage(Stage::kAfterRaceVerifier)) {
+      if (report.verified) confirmed.push_back(report);
+    }
+    try {
+      if (injector != nullptr) injector->maybe_throw();
+      result.repair =
+          repair::attempt_repair(target, options_, *module_static, confirmed);
+    } catch (const std::exception& error) {
+      record_failure(result.counts, PipelineStage::kRepair,
+                     FailureCause::kException, error.what());
+      result.repair = repair::RepairReport{};
+      result.repair.status = "unrepaired";
+    }
+    result.counts.repair_status = result.repair.status;
+    result.counts.repair_candidates = result.repair.candidates_tried;
+    OWL_LOG(kInfo) << target.name << ": repair " << result.repair.status
+                   << " (" << result.repair.candidates_tried
+                   << " candidate(s) tried)";
+  }
+
   result.total_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -748,6 +785,13 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
         registry.advisory("predict.closure_iterations")
             .inc(predict_outcome->closure_iterations);
       }
+    }
+    if (result.repair_ran) {
+      // Same gating: repair-off snapshots carry no repair keys at all.
+      registry.counter("repair.candidates_tried")
+          .inc(result.counts.repair_candidates);
+      registry.counter("repair.repaired")
+          .inc(result.repair.status == "repaired" ? 1 : 0);
     }
     registry.histogram("pipeline.raw_reports_per_target")
         .observe(result.counts.raw_reports);
@@ -833,6 +877,28 @@ std::string serialize_result(const PipelineResult& result) {
                       result.checker_findings.size());
     for (const checkers::BugReport& report : result.checker_findings) {
       out += report.to_string();
+    }
+  }
+  if (result.repair_ran) {
+    // The patched module is folded in as a size + FNV-1a digest: repeat
+    // runs and jobs=1-vs-N runs must synthesize byte-identical fixes, and
+    // this pins that without dumping whole modules into the diff.
+    std::uint64_t digest = 1469598103934665603ull;
+    for (const char c : result.repair.patched_text) {
+      digest ^= static_cast<unsigned char>(c);
+      digest *= 1099511628211ull;
+    }
+    out += str_format(
+        "[repair status=%s strategy=%s lock=%s candidates=%u fixed=%s "
+        "patched_bytes=%zu patched_fnv=%016llx]\n",
+        result.repair.status.c_str(), result.repair.strategy.c_str(),
+        result.repair.lock.c_str(), result.repair.candidates_tried,
+        result.repair.fixed_module.c_str(),
+        result.repair.patched_text.size(),
+        static_cast<unsigned long long>(digest));
+    for (const repair::RepairedRace& race : result.repair.races) {
+      out += str_format("repair-race: %s %s <-> %s\n", race.object.c_str(),
+                        race.first_loc.c_str(), race.second_loc.c_str());
     }
   }
   out += str_format("[exploits %zu]\n", result.exploits.size());

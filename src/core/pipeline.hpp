@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "race/predict/trace_recorder.hpp"
 #include "race/prescreen_view.hpp"
 #include "race/ski_detector.hpp"
+#include "repair/report.hpp"
 #include "support/deadline.hpp"
 #include "support/fault_injector.hpp"
 #include "support/retry.hpp"
@@ -53,6 +55,12 @@ struct PipelineTarget {
   race::MachineFactory exploit_factory;
   /// Exploit-driver ordering hint for the vulnerability verifier.
   std::vector<interp::ThreadId> thread_order;
+  /// Builds a machine factory for an *arbitrary* module — the repair
+  /// stage's hook for running the full pipeline on patched clones (the
+  /// shared_ptr keeps the clone alive inside the returned factory). Unset
+  /// means repair cannot verify candidates and degrades for this target.
+  std::function<race::MachineFactory(std::shared_ptr<const ir::Module>)>
+      factory_for_module;
   DetectorKind detector = DetectorKind::kTsan;
   unsigned detection_schedules = 4;  ///< schedules explored in steps (1)/(2)
   std::uint64_t seed = 1;
@@ -115,6 +123,11 @@ struct PipelineOptions {
   /// default — with every checker off the pipeline's output is
   /// byte-identical to a build without the suite.
   checkers::CheckerOptions checkers;
+  /// Automated race repair (DESIGN.md §13). Off by default — with repair
+  /// off every output is byte-identical to a build without the stage. The
+  /// stage never enables itself recursively: verification pipelines the
+  /// repair engine spawns run with this reset to the default.
+  repair::RepairOptions repair;
 
   // --- resilience layer ---
   StageBudgets stage_budgets;          ///< per-stage deadlines/step budgets
@@ -172,6 +185,10 @@ struct PipelineResult {
   bool checkers_ran = false;
   /// True when the predict stage ran (same gating idiom as checkers_ran).
   bool predict_ran = false;
+  /// Repair-stage outcome (status empty unless the stage ran).
+  repair::RepairReport repair;
+  /// True when the repair stage ran (same gating idiom as checkers_ran).
+  bool repair_ran = false;
   double total_seconds = 0.0;
 
   /// Attacks with a realized security consequence.

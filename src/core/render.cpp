@@ -30,6 +30,14 @@ std::string render_cli_summary(const PipelineResult& result) {
         result.counts.predict_new_confirmed,
         result.counts.predict_schedules_avoided);
   }
+  if (result.repair_ran) {
+    out += str_format("  repair: status=%s strategy=%s candidates=%u\n",
+                      result.repair.status.c_str(),
+                      result.repair.strategy.empty()
+                          ? "-"
+                          : result.repair.strategy.c_str(),
+                      result.repair.candidates_tried);
+  }
   out += str_format("  resilience:            %s\n",
                     result.counts.resilience_summary().c_str());
   if (result.degraded()) {
@@ -73,6 +81,34 @@ std::string render_cli_details(const PipelineResult& result,
     }
     for (const checkers::BugReport& report : result.checker_findings) {
       out += report.to_string();
+    }
+  }
+  if (result.repair_ran) {
+    // Identical from the CLI and from owl_served: everything here is a
+    // function of the analysis alone — file paths (out_dir) never appear,
+    // only the deterministic basename of the fixed module.
+    const repair::RepairReport& repair = result.repair;
+    out += str_format("\n--- repair (%s) ---\n", result.target_name.c_str());
+    out += str_format("status: %s\n", repair.status.c_str());
+    if (repair.status == "repaired") {
+      out += str_format("strategy: %s\n", repair.strategy.c_str());
+      if (!repair.lock.empty()) {
+        out += str_format("lock: @%s\n", repair.lock.c_str());
+      }
+      out += str_format("fixed module: %s\n", repair.fixed_module.c_str());
+      out += str_format(
+          "gates: race-free=%s no-new-findings=%s output-identical=%s\n",
+          repair.gate_race_free ? "pass" : "fail",
+          repair.gate_no_new_findings ? "pass" : "fail",
+          repair.gate_output_equal ? "pass" : "fail");
+    }
+    out += str_format("candidates tried: %u\n", repair.candidates_tried);
+    if (!repair.races.empty()) {
+      out += "confirmed races:\n";
+      for (const repair::RepairedRace& race : repair.races) {
+        out += str_format("  %s: %s <-> %s\n", race.object.c_str(),
+                          race.first_loc.c_str(), race.second_loc.c_str());
+      }
     }
   }
   return out;

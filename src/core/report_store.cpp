@@ -20,6 +20,10 @@ std::string StageCounts::serialize() const {
         predict_candidates, predict_pruned, predict_new_confirmed,
         predict_schedules_avoided);
   }
+  if (repair_ran) {
+    out += str_format("repair: status=%s candidates=%zu\n",
+                      repair_status.c_str(), repair_candidates);
+  }
   for (const support::FailureRecord& record : failures) {
     out += str_format(
         "failure: %s/%s steps=%llu retries=%u (%s)\n",

@@ -43,6 +43,13 @@ struct StageCounts {
   std::size_t predict_schedules_avoided = 0; ///< verifier attempts not run
   bool predict_ran = false;
 
+  // --- automated race repair (DESIGN.md §13) ---
+  /// Serialized only when `repair_ran`; off-mode output stays
+  /// byte-identical to pre-repair builds.
+  std::string repair_status;            ///< repaired | unrepaired | no_races
+  std::size_t repair_candidates = 0;    ///< candidates synthesized and tried
+  bool repair_ran = false;
+
   // --- resilience accounting (Table 2/3's resilience column) ---
   /// Stage failures absorbed by the resilience layer. Non-empty means the
   /// row's numbers are best-effort under degradation, not a crash.

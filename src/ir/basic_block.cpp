@@ -12,6 +12,24 @@ Instruction* BasicBlock::append(std::unique_ptr<Instruction> instr) {
   return instrs_.back().get();
 }
 
+Instruction* BasicBlock::insert(std::size_t index,
+                                std::unique_ptr<Instruction> instr) {
+  assert(instr != nullptr);
+  assert(index <= instrs_.size() && "insert position out of range");
+  instr->set_parent(this);
+  const auto it = instrs_.insert(
+      instrs_.begin() + static_cast<std::ptrdiff_t>(index), std::move(instr));
+  return it->get();
+}
+
+std::unique_ptr<Instruction> BasicBlock::remove(std::size_t index) {
+  assert(index < instrs_.size() && "remove position out of range");
+  std::unique_ptr<Instruction> out = std::move(instrs_[index]);
+  instrs_.erase(instrs_.begin() + static_cast<std::ptrdiff_t>(index));
+  out->set_parent(nullptr);
+  return out;
+}
+
 std::size_t BasicBlock::index_of(const Instruction* instr) const {
   for (std::size_t i = 0; i < instrs_.size(); ++i) {
     if (instrs_[i].get() == instr) return i;

@@ -27,6 +27,16 @@ class BasicBlock {
   /// wiring operands.
   Instruction* append(std::unique_ptr<Instruction> instr);
 
+  /// Inserts an instruction before position `index` (so `index == size()`
+  /// appends), taking ownership. The transform layer (ir/transform.hpp)
+  /// uses this to splice guard locks around existing accesses; callers are
+  /// responsible for not inserting past the terminator.
+  Instruction* insert(std::size_t index, std::unique_ptr<Instruction> instr);
+
+  /// Detaches and returns the instruction at `index`. The instruction keeps
+  /// its operands but loses its parent; the caller re-inserts or drops it.
+  std::unique_ptr<Instruction> remove(std::size_t index);
+
   const std::vector<std::unique_ptr<Instruction>>& instructions()
       const noexcept {
     return instrs_;

@@ -1,0 +1,77 @@
+// MiniIR module transforms — the rewrite layer behind automated race
+// repair (DESIGN.md §13).
+//
+// Analyses treat a Module as immutable, so repair never patches the module
+// under analysis: it clones via the deterministic print/parse round trip
+// (ir/printer.hpp is the canonical form, so a cloned-then-reserialized
+// module is byte-identical to the serialization of its source after one
+// normalization pass) and edits the clone. Because instruction pointers do
+// not survive cloning, edit sites are addressed by InstrCoord — (function
+// name, block label, index in block) — which is stable across round trips.
+//
+// The three edits here are exactly the repair strategies' needs:
+//  * add_mutex_global: a fresh one-cell global usable as a mutex;
+//  * guard_range: splice `lock @m` / `unlock @m` around [first, last] of a
+//    block, turning the racy accesses into one critical section;
+//  * move_after: detach one instruction and re-insert it after another
+//    (the relocation strategy: hoist a main-thread access past the joins).
+//
+// All inserted/moved instructions keep deterministic ids from the clone's
+// own counter and carry no SourceLoc (the printer then omits the `!loc`
+// suffix), so re-serialization is a pure function of the edit sequence.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace owl::ir {
+
+/// Position of an instruction that survives print/parse round trips:
+/// names and block order are preserved, pointers and value ids are not.
+struct InstrCoord {
+  std::string function;
+  std::string block;
+  std::size_t index = 0;
+
+  friend bool operator==(const InstrCoord&, const InstrCoord&) = default;
+  std::string to_string() const {
+    return "@" + function + "/" + block + "[" + std::to_string(index) + "]";
+  }
+};
+
+/// Coordinate of `instr` inside its module; asserts on detached
+/// instructions (no parent block).
+InstrCoord coord_of(const Instruction& instr);
+
+/// Instruction at `coord`, or nullptr when the function/block/index does
+/// not exist in `module`.
+Instruction* find_instr(const Module& module, const InstrCoord& coord);
+
+/// Deep-copies a module through the canonical textual form. Returns
+/// nullptr only if the module fails to re-parse (i.e. it was never
+/// printable — not reachable for verifier-accepted modules).
+std::unique_ptr<Module> clone_module(const Module& module);
+
+/// Adds a fresh one-cell global intended as a mutex. The name is
+/// `preferred` when free, else `preferred_2`, `preferred_3`, ... — chosen
+/// deterministically from declaration order.
+GlobalVariable* add_mutex_global(Module& module, const std::string& preferred);
+
+/// Wraps instructions [first.index, last_index] of first's block in a
+/// `lock @mutex` / `unlock @mutex` critical section. Returns false when the
+/// coordinates or the mutex global do not exist, or when the range would
+/// cover the block's terminator.
+bool guard_range(Module& module, const InstrCoord& first,
+                 std::size_t last_index, const std::string& mutex_name);
+
+/// Detaches the instruction at `from` and re-inserts it immediately after
+/// the instruction at `after` (coordinates interpreted against the module
+/// *before* the edit). Returns false when either coordinate is missing or
+/// `from` is a terminator.
+bool move_after(Module& module, const InstrCoord& from,
+                const InstrCoord& after);
+
+}  // namespace owl::ir

@@ -1,0 +1,50 @@
+// Repair engine — applies RepairPlanner candidates and verifies them with
+// three gates before accepting a fix (DESIGN.md §13):
+//
+//  A. race-freedom  — the full pipeline re-runs on the patched module with
+//                     the session's detector configuration, once with
+//                     prediction off and once with --predict on; both runs
+//                     must confirm zero races and complete undegraded;
+//  B. checker differential — the PR 7 checker suite (all checkers) runs on
+//                     the patched module; every finding must already exist
+//                     on the original (so a guard that introduces a
+//                     deadlock or breaks lock discipline is rejected);
+//  C. output equivalence — original and patched modules run under the
+//                     deterministic round-robin schedule; the observable
+//                     print sequences must be byte-identical, the patched
+//                     run must finish cleanly, and a randomized deadlock
+//                     smoke must stay deadlock-free.
+//
+// The first candidate passing all three gates wins; the engine reports it
+// (strategy, lock, gate evidence, patched text) and the CLI decides
+// whether files are written. Everything here is deterministic: nested
+// pipelines run with jobs=1, no fault injector, no manifest, unlimited
+// budgets, and repair disabled (no recursion).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/static_info.hpp"
+#include "core/pipeline.hpp"
+#include "repair/report.hpp"
+
+namespace owl::repair {
+
+/// Plans, applies, and gate-verifies repairs for `confirmed` (the target's
+/// verified races). Throws when the target carries no factory_for_module
+/// hook — the pipeline absorbs that as a kRepair FailureRecord.
+RepairReport attempt_repair(const core::PipelineTarget& target,
+                            const core::PipelineOptions& session,
+                            const analysis::ModuleStatic& statics,
+                            const std::vector<race::RaceReport>& confirmed);
+
+/// The owl-repair-v1 JSON body of `<stem>_repair.json`.
+std::string render_repair_json(const RepairReport& report,
+                               const std::string& target_name);
+
+/// "<dir/>stem.mir" -> "stem_fixed.mir" (basename only — rendered output
+/// must not depend on where the CLI found the module or writes the fix).
+std::string fixed_module_name(const std::string& target_name);
+
+}  // namespace owl::repair

@@ -1,0 +1,264 @@
+#include "repair/planner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace owl::repair {
+namespace {
+
+using analysis::LockFacts;
+using analysis::PointsTo;
+
+/// The racy instruction sites of the confirmed reports, deduplicated.
+std::set<const ir::Instruction*> racy_sites(
+    const std::vector<race::RaceReport>& confirmed) {
+  std::set<const ir::Instruction*> sites;
+  for (const race::RaceReport& report : confirmed) {
+    if (report.first.instr != nullptr) sites.insert(report.first.instr);
+    if (report.second.instr != nullptr) sites.insert(report.second.instr);
+  }
+  return sites;
+}
+
+/// Racy sites folded into per-(function, block) guard spans, emitted in
+/// module declaration order so candidates are deterministic.
+std::vector<GuardSpan> guard_spans(
+    const ir::Module& module, const std::set<const ir::Instruction*>& sites) {
+  std::map<std::pair<std::string, std::string>,
+           std::pair<std::size_t, std::size_t>>
+      ranges;  // (function, block) -> [min, max] index
+  for (const ir::Instruction* site : sites) {
+    const ir::InstrCoord coord = ir::coord_of(*site);
+    auto [it, inserted] = ranges.try_emplace(
+        std::make_pair(coord.function, coord.block),
+        std::make_pair(coord.index, coord.index));
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, coord.index);
+      it->second.second = std::max(it->second.second, coord.index);
+    }
+  }
+  std::vector<GuardSpan> spans;
+  for (const auto& function : module.functions()) {
+    for (const auto& block : function->blocks()) {
+      const auto it =
+          ranges.find(std::make_pair(function->name(), block->label()));
+      if (it == ranges.end()) continue;
+      GuardSpan span;
+      span.first = {function->name(), block->label(), it->second.first};
+      span.last_index = it->second.second;
+      spans.push_back(std::move(span));
+    }
+  }
+  return spans;
+}
+
+/// True when `instr` directly accesses the global named `object`.
+bool accesses_global(const ir::Instruction& instr, const std::string& object) {
+  if (!instr.is_memory_access()) return false;
+  for (const ir::Value* operand : instr.operands()) {
+    if (operand->kind() == ir::ValueKind::kGlobalVariable &&
+        operand->name() == object) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Well-formed tokens protecting some non-racy access to `object` — the
+/// "a lock already protects this variable on other paths" evidence.
+std::set<PointsTo::ObjectId> protecting_tokens(
+    const ir::Module& module, const LockFacts& facts,
+    const std::set<const ir::Instruction*>& sites, const std::string& object) {
+  std::set<PointsTo::ObjectId> tokens;
+  for (const auto& function : module.functions()) {
+    for (const auto& block : function->blocks()) {
+      for (const auto& instr : block->instructions()) {
+        if (sites.count(instr.get()) != 0) continue;
+        if (!accesses_global(*instr, object)) continue;
+        for (const PointsTo::ObjectId token :
+             facts.must_held_before(instr.get())) {
+          if (facts.well_formed(token)) tokens.insert(token);
+        }
+      }
+    }
+  }
+  return tokens;
+}
+
+/// Name of the global behind a points-to token ("" when not a global).
+std::string token_global_name(const PointsTo& pt, PointsTo::ObjectId token) {
+  if (token >= pt.objects().size()) return "";
+  const analysis::AbstractObject& object = pt.objects()[token];
+  if (object.kind != analysis::ObjectKind::kGlobal || object.site == nullptr) {
+    return "";
+  }
+  return object.site->name();
+}
+
+/// A store movable without disturbing SSA dependencies: both operands are
+/// always-available values (constants / globals), and stores produce no
+/// result anything downstream could consume.
+bool is_movable_store(const ir::Instruction& instr) {
+  if (instr.opcode() != ir::Opcode::kStore) return false;
+  for (const ir::Value* operand : instr.operands()) {
+    if (operand->kind() != ir::ValueKind::kConstant &&
+        operand->kind() != ir::ValueKind::kGlobalVariable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Relocation window test: `site` sits in a block after some thread_create
+/// and before some thread_join; returns the coordinate of the *last* join
+/// in that block (the move anchor) via `anchor`.
+bool in_spawn_window(const ir::Instruction& site, ir::InstrCoord& anchor) {
+  const ir::BasicBlock* block = site.parent();
+  if (block == nullptr) return false;
+  const std::size_t site_index = block->index_of(&site);
+  bool create_before = false;
+  std::size_t last_join = 0;
+  bool join_after = false;
+  for (std::size_t i = 0; i < block->size(); ++i) {
+    const ir::Instruction& instr = *block->instructions()[i];
+    if (instr.opcode() == ir::Opcode::kThreadCreate && i < site_index) {
+      create_before = true;
+    }
+    if (instr.opcode() == ir::Opcode::kThreadJoin && i > site_index) {
+      join_after = true;
+      last_join = i;
+    }
+  }
+  if (!create_before || !join_after) return false;
+  anchor = {block->parent()->name(), block->label(), last_join};
+  return true;
+}
+
+}  // namespace
+
+std::string RepairCandidate::describe() const {
+  std::string out(strategy_name(strategy));
+  if (!lock.empty()) out += "(@" + lock + ")";
+  return out;
+}
+
+std::vector<RepairCandidate> RepairPlanner::plan(
+    const std::vector<race::RaceReport>& confirmed) const {
+  std::vector<RepairCandidate> candidates;
+  const std::set<const ir::Instruction*> sites = racy_sites(confirmed);
+  if (sites.empty()) return candidates;
+
+  // Guard every access to the racy objects, not just the reported pair:
+  // the confirmed set is schedule-dependent (a different seed confirms a
+  // different subset of the same underlying races), and a lock that covers
+  // only the witnessed sites leaves the sibling accesses racing — the
+  // race-freedom gate would reject the patch on re-verification.
+  std::set<std::string> objects;
+  for (const race::RaceReport& report : confirmed) {
+    if (!report.object_name.empty()) objects.insert(report.object_name);
+  }
+  std::set<const ir::Instruction*> guard_sites = sites;
+  for (const auto& function : module_.functions()) {
+    for (const auto& block : function->blocks()) {
+      for (const auto& instr : block->instructions()) {
+        for (const std::string& object : objects) {
+          if (accesses_global(*instr, object)) {
+            guard_sites.insert(instr.get());
+            break;
+          }
+        }
+      }
+    }
+  }
+  const std::vector<GuardSpan> spans = guard_spans(module_, guard_sites);
+
+  // --- 1. lock_reuse: one existing lock must cover every racy object ---
+  {
+    std::set<PointsTo::ObjectId> shared;
+    bool first_object = true;
+    for (const std::string& object : objects) {
+      const std::set<PointsTo::ObjectId> tokens = protecting_tokens(
+          module_, statics_.lock_facts, sites, object);
+      if (first_object) {
+        shared = tokens;
+        first_object = false;
+      } else {
+        std::set<PointsTo::ObjectId> kept;
+        std::set_intersection(shared.begin(), shared.end(), tokens.begin(),
+                              tokens.end(),
+                              std::inserter(kept, kept.begin()));
+        shared = std::move(kept);
+      }
+    }
+    if (!objects.empty() && !shared.empty()) {
+      const PointsTo::ObjectId token = *shared.begin();
+      const std::string name = token_global_name(statics_.points_to, token);
+      // Guard only the sites that do not already hold the reused lock —
+      // wrapping an access that acquired it on entry would self-deadlock,
+      // and the already-guarded sites are precisely the evidence the lock
+      // works.
+      std::set<const ir::Instruction*> unguarded;
+      for (const ir::Instruction* site : guard_sites) {
+        bool held = false;
+        for (const PointsTo::ObjectId h :
+             statics_.lock_facts.must_held_before(site)) {
+          if (h == token) {
+            held = true;
+            break;
+          }
+        }
+        if (!held) unguarded.insert(site);
+      }
+      if (!name.empty() && !unguarded.empty()) {
+        RepairCandidate candidate;
+        candidate.strategy = Strategy::kLockReuse;
+        candidate.lock = name;
+        candidate.guards = guard_spans(module_, unguarded);
+        candidates.push_back(std::move(candidate));
+      }
+    }
+  }
+
+  // --- 2. relocate: every report must have a movable spawn-window store ---
+  {
+    RepairCandidate candidate;
+    candidate.strategy = Strategy::kRelocate;
+    std::set<const ir::Instruction*> moved;
+    bool all_movable = !confirmed.empty();
+    for (const race::RaceReport& report : confirmed) {
+      const ir::Instruction* movable = nullptr;
+      ir::InstrCoord anchor;
+      for (const ir::Instruction* side : {report.first.instr,
+                                          report.second.instr}) {
+        if (side != nullptr && is_movable_store(*side) &&
+            in_spawn_window(*side, anchor)) {
+          movable = side;
+          break;
+        }
+      }
+      if (movable == nullptr) {
+        all_movable = false;
+        break;
+      }
+      if (moved.insert(movable).second) {
+        candidate.moves.push_back({ir::coord_of(*movable), anchor});
+      }
+    }
+    if (all_movable && !candidate.moves.empty()) {
+      candidates.push_back(std::move(candidate));
+    }
+  }
+
+  // --- 3. lock_insert: always plannable — one fresh mutex for all spans ---
+  {
+    RepairCandidate candidate;
+    candidate.strategy = Strategy::kLockInsert;
+    candidate.lock = "__owl_fix";
+    candidate.guards = spans;
+    candidates.push_back(std::move(candidate));
+  }
+  return candidates;
+}
+
+}  // namespace owl::repair

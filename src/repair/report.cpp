@@ -1,0 +1,14 @@
+#include "repair/report.hpp"
+
+namespace owl::repair {
+
+std::string_view strategy_name(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::kLockReuse: return "lock_reuse";
+    case Strategy::kRelocate: return "relocate";
+    case Strategy::kLockInsert: return "lock_insert";
+  }
+  return "?";
+}
+
+}  // namespace owl::repair

@@ -93,6 +93,22 @@ ExecResult Executor::run(const std::string& module_text,
   target.module = module.get();
   target.factory = factory_for(inputs);
   target.exploit_factory = factory_for(exploit_inputs);
+  // Module-agnostic factory for the repair engine's verification re-runs
+  // on patched clones — same wiring as owl_cli, so responses stay
+  // byte-identical to the one-shot invocation.
+  target.factory_for_module = [entry_name = options.entry, inputs,
+                               max_steps = options.max_steps](
+                                  std::shared_ptr<const ir::Module> patched) {
+    return race::MachineFactory([patched, entry_name, inputs, max_steps] {
+      interp::MachineOptions machine_options;
+      machine_options.inputs = inputs;
+      machine_options.max_steps = max_steps;
+      auto machine =
+          std::make_unique<interp::Machine>(*patched, machine_options);
+      machine->start(patched->find_function(entry_name));
+      return machine;
+    });
+  };
   target.detector = options.detector;
   target.detection_schedules = options.schedules;
   target.seed = options.seed;  // single target: --seed kept exactly
@@ -113,6 +129,7 @@ ExecResult Executor::run(const std::string& module_text,
   pipeline_options.prescreen = options.prescreen;
   pipeline_options.predict = options.predict;
   pipeline_options.checkers = options.checkers;
+  pipeline_options.repair.enabled = options.repair;  // out_dir stays empty
   pipeline_options.manifest_tool = "owl_cli";
   if (pipeline_faults_ != nullptr && !pipeline_faults_->empty()) {
     pipeline_options.fault_injector = pipeline_faults_;

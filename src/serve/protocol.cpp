@@ -137,6 +137,9 @@ bool AnalysisOptions::from_json(const JsonValue& value, AnalysisOptions& out,
     } else if (key == "sarif") {
       if (!field.is_bool()) return bad(key);
       out.sarif = field.as_bool();
+    } else if (key == "repair") {
+      if (!field.is_bool()) return bad(key);
+      out.repair = field.as_bool();
     } else {
       // Strict: an ignored option would silently answer for the wrong
       // owl_cli invocation.
@@ -149,10 +152,10 @@ bool AnalysisOptions::from_json(const JsonValue& value, AnalysisOptions& out,
 
 std::string AnalysisOptions::canonical_blob(
     const std::string& target_name) const {
-  // v3: the blob gained predict= (v2 added checkers=/sarif=) — the marker
-  // bump makes keys from older daemons differ even for predict-off
-  // requests.
-  std::string out = "owl-options-v3\n";
+  // v4: the blob gained repair= (v3 added predict=, v2 checkers=/sarif=) —
+  // the marker bump makes keys from older daemons differ even for
+  // repair-off requests.
+  std::string out = "owl-options-v4\n";
   out += "name=" + target_name + "\n";
   out += "entry=" + entry + "\n";
   out += "inputs=" + words_csv(inputs) + "\n";
@@ -190,6 +193,7 @@ std::string AnalysisOptions::canonical_blob(
   out += str_format("jobs=%u\n", jobs);
   out += "checkers=" + checkers.canonical() + "\n";
   out += str_format("sarif=%d\n", sarif ? 1 : 0);
+  out += str_format("repair=%d\n", repair ? 1 : 0);
   return out;
 }
 
@@ -316,6 +320,7 @@ std::string serialize_request(const Request& request) {
   out += str_format(",\"jobs\":%u", opt.jobs);
   out += ",\"checkers\":" + json_quote(opt.checkers.canonical());
   out += std::string(",\"sarif\":") + flag(opt.sarif);
+  out += std::string(",\"repair\":") + flag(opt.repair);
   out += "}}";
   return out;
 }

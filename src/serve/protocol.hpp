@@ -78,6 +78,10 @@ struct AnalysisOptions {
   checkers::CheckerOptions checkers;
   /// Mirror of `--sarif-out -`: append the SARIF 2.1.0 log to the output.
   bool sarif = false;
+  /// Mirror of `--repair DIR` minus the DIR: the repair stage runs and its
+  /// path-independent report renders into the output; the daemon never
+  /// writes fixed-module files (that emission is CLI-only).
+  bool repair = false;
 
   /// Parses the "options" object; st carries the offending key on error.
   static bool from_json(const JsonValue& value, AnalysisOptions& out,

@@ -11,6 +11,7 @@ std::string_view pipeline_stage_name(PipelineStage stage) noexcept {
     case PipelineStage::kVulnAnalysis: return "vuln-analysis";
     case PipelineStage::kVulnVerification: return "vuln-verification";
     case PipelineStage::kCheckers: return "checkers";
+    case PipelineStage::kRepair: return "repair";
     case PipelineStage::kDriver: return "driver";
     case PipelineStage::kServeAdmit: return "serve-admit";
     case PipelineStage::kServeEnqueue: return "serve-enqueue";

@@ -29,6 +29,7 @@ enum class PipelineStage {
   kVulnAnalysis,      ///< step (4): static vulnerability analysis
   kVulnVerification,  ///< step (5): dynamic vulnerability verifier
   kCheckers,          ///< concurrency checker suite (DESIGN.md §11)
+  kRepair,            ///< automated race repair (DESIGN.md §13)
   kDriver,            ///< multi-target driver wrapper (catastrophic catch)
   kServeAdmit,        ///< owl_served: admission control decision
   kServeEnqueue,      ///< owl_served: bounded-queue insertion

@@ -45,6 +45,8 @@ bool parse_fault_plan(std::string_view text, FaultPlan& plan) {
     plan.stage = PipelineStage::kVulnVerification;
   } else if (parts[0] == "check") {
     plan.stage = PipelineStage::kCheckers;
+  } else if (parts[0] == "repair") {
+    plan.stage = PipelineStage::kRepair;
   } else if (parts[0] == "admit") {
     plan.stage = PipelineStage::kServeAdmit;
   } else if (parts[0] == "enqueue") {

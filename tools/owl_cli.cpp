@@ -47,14 +47,25 @@
 //   --inject-fault SPEC    deterministic fault injection, repeatable.
 //                          SPEC = stage:kind[:after] with
 //                          stage in detect|annotate|race-verify|vuln-analyze|
-//                          vuln-verify|check and kind in stall|livelock|
-//                          throw|truncate; `after` skips the first N probes
+//                          vuln-verify|check|repair and kind in stall|
+//                          livelock|throw|truncate; `after` skips the first
+//                          N probes
 //   --checkers SEL         concurrency checker suite (DESIGN.md §11):
 //                          off (default), all, or a comma list of
 //                          deadlock,atomicity,lock-mismatch,condvar.
 //                          Findings print in the summary/details and are
 //                          byte-identical for any --jobs value. Also
 //                          --checkers=SEL
+//   --repair DIR           automated race repair (DESIGN.md §13): for each
+//                          target with confirmed races, synthesize a patch
+//                          (lock reuse / relocation / fresh lock), verify
+//                          it by re-running the pipeline on the patched
+//                          module (race-free incl. --predict on, no new
+//                          checker finding, identical workload output) and
+//                          write DIR/<stem>_fixed.mir plus
+//                          DIR/<stem>_repair.json (owl-repair-v1). The
+//                          rendered summary/details are independent of DIR
+//                          so serve responses stay byte-identical
 //   --sarif-out FILE       write checker findings as one SARIF 2.1.0 log
 //                          covering every target in input order; "-"
 //                          appends the log to stdout (after the details,
@@ -76,12 +87,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "checkers/sarif.hpp"
 #include "core/pipeline.hpp"
 #include "core/render.hpp"
+#include "repair/engine.hpp"
 #include "interp/machine.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
@@ -126,6 +139,7 @@ struct CliOptions {
   std::string metrics_out;  ///< metrics snapshot text path ("" = none)
   checkers::CheckerOptions checkers;  ///< all off by default
   std::string sarif_out;    ///< SARIF log path; "-" = stdout ("" = none)
+  std::string repair_dir;   ///< --repair DIR; "" = repair stage off
 };
 
 void usage() {
@@ -142,7 +156,8 @@ void usage() {
                "       [--inject-fault stage:kind[:after]] [-q|--quiet]\n"
                "       [--trace-out FILE] [--manifest FILE]\n"
                "       [--metrics-out FILE]\n"
-               "       [--checkers off|all|LIST] [--sarif-out FILE|-]\n");
+               "       [--checkers off|all|LIST] [--sarif-out FILE|-]\n"
+               "       [--repair DIR]\n");
 }
 
 /// Parses "stage:kind[:after]" into a FaultPlan via the shared parser
@@ -290,6 +305,10 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (v == nullptr || *v == '\0') return false;
       options.sarif_out = v;
+    } else if (arg == "--repair") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') return false;
+      options.repair_dir = v;
     } else if (arg == "--inject-fault") {
       const char* v = next();
       support::FaultPlan plan;
@@ -390,6 +409,26 @@ int main(int argc, char** argv) {
     target.module = module.get();
     target.factory = factory_for(options.inputs);
     target.exploit_factory = factory_for(options.exploit_inputs);
+    // Module-agnostic twin of factory_for: the repair engine verifies
+    // candidate patches by running the pipeline on a cloned, rewritten
+    // module, so the factory must resolve the entry by name on whatever
+    // module it is handed (the shared_ptr keeps the clone alive for as
+    // long as any machine is outstanding).
+    target.factory_for_module =
+        [entry_name = options.entry, inputs = options.inputs,
+         max_steps =
+             options.max_steps](std::shared_ptr<const ir::Module> patched) {
+          return race::MachineFactory([patched, entry_name, inputs,
+                                       max_steps] {
+            interp::MachineOptions machine_options;
+            machine_options.inputs = inputs;
+            machine_options.max_steps = max_steps;
+            auto machine =
+                std::make_unique<interp::Machine>(*patched, machine_options);
+            machine->start(patched->find_function(entry_name));
+            return machine;
+          });
+        };
     target.detector = options.detector;
     target.detection_schedules = options.schedules;
     target.seed =
@@ -414,6 +453,8 @@ int main(int argc, char** argv) {
   pipeline_options.prescreen = options.prescreen;
   pipeline_options.predict = options.predict;
   pipeline_options.checkers = options.checkers;
+  pipeline_options.repair.enabled = !options.repair_dir.empty();
+  pipeline_options.repair.out_dir = options.repair_dir;
   pipeline_options.jobs = jobs;
   pipeline_options.manifest_path = options.manifest_out;
   pipeline_options.manifest_tool = "owl_cli";
@@ -455,6 +496,45 @@ int main(int argc, char** argv) {
         stdout);
   }
   int status = 0;
+  if (!options.repair_dir.empty()) {
+    // File emission is CLI-only (owl_served never writes): the rendered
+    // summary/details above carry everything path-independent, the repair
+    // artifacts land here. Write failures warn and fail the run like the
+    // trace/metrics sinks below.
+    std::error_code ec;
+    std::filesystem::create_directories(options.repair_dir, ec);
+    for (const core::PipelineResult& result : results) {
+      if (!result.repair_ran) continue;
+      const std::string fixed_name =
+          repair::fixed_module_name(result.target_name);
+      const std::string stem =
+          fixed_name.substr(0, fixed_name.size() - std::strlen("_fixed.mir"));
+      const std::string report_path =
+          options.repair_dir + "/" + stem + "_repair.json";
+      std::ofstream report_out(report_path, std::ios::trunc);
+      report_out << repair::render_repair_json(result.repair,
+                                               result.target_name);
+      report_out.close();
+      if (!report_out) {
+        std::fprintf(stderr, "owl_cli: cannot write repair report to %s\n",
+                     report_path.c_str());
+        status = 1;
+      }
+      if (result.repair.status == "repaired" &&
+          !result.repair.patched_text.empty()) {
+        const std::string fixed_path =
+            options.repair_dir + "/" + fixed_name;
+        std::ofstream fixed_out(fixed_path, std::ios::trunc);
+        fixed_out << result.repair.patched_text;
+        fixed_out.close();
+        if (!fixed_out) {
+          std::fprintf(stderr, "owl_cli: cannot write fixed module to %s\n",
+                       fixed_path.c_str());
+          status = 1;
+        }
+      }
+    }
+  }
   if (!options.sarif_out.empty()) {
     std::vector<checkers::SarifTarget> sarif_targets;
     sarif_targets.reserve(results.size());
