@@ -526,6 +526,91 @@ void BM_DetectorPrescreenedRead(benchmark::State& state) {
 BENCHMARK(BM_DetectorPrescreenedRead)->ArgName("impl")->Arg(0)->Arg(1);
 
 // --------------------------------------------------------------------------
+// Memory-aware value flow (BENCH_valueflow.json;
+// --benchmark_filter='ValueFlow|VulnFlow'): graph construction over the
+// Andersen workload, and the Algorithm 1 walk when every propagation step
+// crosses a store->load edge (DESIGN.md §14).
+// --------------------------------------------------------------------------
+
+void BM_ValueFlowBuild(benchmark::State& state) {
+  const auto m = make_analysis_module(state.range(0));
+  const analysis::ModuleStatic ms(*m);
+  std::size_t edges = 0;
+  for (auto _ : state) {
+    const analysis::ValueFlowGraph graph(*m, ms.points_to,
+                                         ms.resolved_calls);
+    edges = graph.stats().def_use_edges + graph.stats().call_edges +
+            graph.stats().mem_edges;
+    benchmark::DoNotOptimize(edges);
+  }
+  state.counters["edges"] = static_cast<double>(edges);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * edges));
+}
+BENCHMARK(BM_ValueFlowBuild)->ArgName("funcs")->Arg(16)->Arg(64)->Arg(256);
+
+/// One producer parks a racy index into `relays` memory slots; `relays`
+/// consumers each load their slot and index a table with it. A single
+/// analyze_from therefore fans out across `relays` store->load edges —
+/// the walk cost is all flow-edge work, none of it register chasing.
+std::unique_ptr<ir::Module> make_relay_module(std::int64_t relays) {
+  auto m = std::make_unique<ir::Module>("relay");
+  ir::IRBuilder b(m.get());
+  ir::GlobalVariable* idx = m->add_global("idx", 1, 1);
+  ir::GlobalVariable* table =
+      m->add_global("table", static_cast<std::uint64_t>(relays) + 16, 0);
+  std::vector<ir::GlobalVariable*> slots;
+  for (std::int64_t i = 0; i < relays; ++i) {
+    slots.push_back(m->add_global("slot" + std::to_string(i), 1, 1));
+  }
+  ir::Function* producer = m->add_function("producer", ir::Type::void_type());
+  b.set_insert_point(producer->add_block("entry"));
+  ir::Instruction* v = b.load(idx, "v");
+  for (ir::GlobalVariable* slot : slots) b.store(v, slot);
+  b.ret();
+  std::vector<ir::Function*> consumers;
+  for (std::int64_t i = 0; i < relays; ++i) {
+    ir::Function* consumer = m->add_function(
+        "consumer" + std::to_string(i), ir::Type::void_type());
+    b.set_insert_point(consumer->add_block("entry"));
+    ir::Instruction* index =
+        b.load(slots[static_cast<std::size_t>(i)], "i");
+    b.store(b.i64(7), b.gep(table, index, "p"));
+    b.ret();
+    consumers.push_back(consumer);
+  }
+  ir::Function* main_fn = m->add_function("main", ir::Type::void_type());
+  b.set_insert_point(main_fn->add_block("entry"));
+  b.call(producer, {});
+  for (ir::Function* consumer : consumers) b.call(consumer, {});
+  b.ret();
+  return m;
+}
+
+void BM_VulnFlowWalk(benchmark::State& state) {
+  const auto m = make_relay_module(state.range(0));
+  const analysis::ModuleStatic ms(*m);
+  const analysis::ValueFlowGraph graph(*m, ms.points_to, ms.resolved_calls);
+  const ir::Function* producer = m->find_function("producer");
+  const ir::Instruction* read =
+      producer->entry()->instructions().front().get();
+  vuln::VulnerabilityAnalyzer::Options options;
+  options.value_flow = &graph;
+  const vuln::VulnerabilityAnalyzer analyzer(*m, options);
+  const interp::CallStack stack{{producer, read}};
+  std::size_t exploits = 0;
+  for (auto _ : state) {
+    const vuln::VulnAnalysis analysis = analyzer.analyze_from(read, stack);
+    exploits = analysis.exploits.size();
+    benchmark::DoNotOptimize(exploits);
+  }
+  state.counters["exploits"] = static_cast<double>(exploits);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * exploits));
+}
+BENCHMARK(BM_VulnFlowWalk)->ArgName("relays")->Arg(4)->Arg(32)->Arg(128);
+
+// --------------------------------------------------------------------------
 // Sync-preserving race prediction (BENCH_predict.json;
 // --benchmark_filter='Predict'): raw SP-closure cost scaling with trace
 // length, and the whole-pipeline payoff of --predict on — the pruned

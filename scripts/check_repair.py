@@ -13,15 +13,24 @@ this checks the owl-repair-v1 shape without a jsonschema dependency:
     "_fixed.mir", candidates_tried >= 1, races non-empty
   - when no_races: candidates_tried == 0 and races empty
   - every races[] entry has nonempty object/first/second strings
+  - candidates[] (one post-mortem per planned candidate) is consistent:
+    len == candidates_tried, every entry has a valid strategy and a
+    killed_by in {apply_failed, output_equal, no_new_findings, race_free,
+    ""}; exactly the repaired reports end in a ""-killed (winning) entry,
+    and every non-final entry names its killing gate
 
 Usage:
     check_repair.py REPORT.json                          # shape only
     check_repair.py REPORT.json --expect status=repaired
     check_repair.py REPORT.json --expect strategy=lock_insert
+    check_repair.py REPORT.json --expect killed_by=output_equal,race_free,
 
 --expect KEY=VALUE pins one top-level string field (status, strategy,
-lock, fixed_module); repeatable. Exit 0 iff every check passes. Used by
-scripts/ci.sh's repair stage to gate the planted-example ground truth.
+lock, fixed_module); repeatable. The special key killed_by pins the full
+per-candidate elimination sequence as a comma-joined list (a trailing
+comma therefore means "last candidate won"). Exit 0 iff every check
+passes. Used by scripts/ci.sh's repair stage to gate the planted-example
+ground truth.
 """
 
 import argparse
@@ -30,7 +39,8 @@ import sys
 
 STATUSES = {"repaired", "unrepaired", "no_races"}
 STRATEGIES = {"lock_reuse", "relocate", "lock_insert"}
-EXPECTABLE = {"status", "strategy", "lock", "fixed_module"}
+EXPECTABLE = {"status", "strategy", "lock", "fixed_module", "killed_by"}
+KILLERS = {"apply_failed", "output_equal", "no_new_findings", "race_free", ""}
 
 
 def fail(msg):
@@ -40,6 +50,46 @@ def fail(msg):
 def require(cond, msg):
     if not cond:
         fail(msg)
+
+
+def check_candidates(candidates, tried, status):
+    require(isinstance(candidates, list), "candidates is not an array")
+    require(
+        len(candidates) == tried,
+        f"candidates has {len(candidates)} entries, candidates_tried={tried}",
+    )
+    for i, candidate in enumerate(candidates):
+        label = f"candidates[{i}]"
+        require(isinstance(candidate, dict), f"{label}: not an object")
+        require(
+            candidate.get("strategy") in STRATEGIES,
+            f"{label}: strategy {candidate.get('strategy')!r} not in "
+            f"{sorted(STRATEGIES)}",
+        )
+        require(
+            isinstance(candidate.get("lock"), str),
+            f"{label}: lock must be a string",
+        )
+        killed = candidate.get("killed_by")
+        require(
+            killed in KILLERS,
+            f"{label}: killed_by {killed!r} not in {sorted(KILLERS)}",
+        )
+        if i + 1 < len(candidates):
+            require(
+                killed != "",
+                f"{label}: non-final candidate with empty killed_by",
+            )
+    if status == "repaired":
+        require(
+            candidates and candidates[-1].get("killed_by") == "",
+            "repaired report whose last candidate was killed",
+        )
+    else:
+        require(
+            all(c.get("killed_by") != "" for c in candidates),
+            f"{status} report with a surviving candidate",
+        )
 
 
 def check_races(races):
@@ -99,6 +149,7 @@ def main():
             f"gates.{key} must be a bool, got {gates.get(key)!r}",
         )
     check_races(report.get("races"))
+    check_candidates(report.get("candidates"), tried, status)
 
     stem = target.rsplit("/", 1)[-1]
     if stem.endswith(".mir"):
@@ -127,6 +178,16 @@ def main():
         if not sep or key not in EXPECTABLE:
             fail(f"bad --expect {spec!r} (want KEY=VALUE with KEY in "
                  f"{sorted(EXPECTABLE)})")
+        if key == "killed_by":
+            got = ",".join(c.get("killed_by", "?")
+                           for c in report.get("candidates", []))
+            # The winning candidate's empty killed_by joins as a trailing
+            # comma, so "...,race_free," pins "last candidate won" exactly.
+            require(
+                got == want,
+                f"expected killed_by sequence {want!r}, got {got!r}",
+            )
+            continue
         got = report.get(key, "")
         require(got == want, f"expected {key}={want!r}, got {got!r}")
 

@@ -331,6 +331,82 @@ if "predict" not in names:
     raise SystemExit("ci.sh: trace missing the predict span")
 EOF
 
+  # Value-flow gate (DESIGN.md §14), four promises:
+  #   (a) --vuln-flow off is byte-identical to not passing the flag at all —
+  #       stdout, manifest body, and metric snapshots;
+  #   (b) on and audit produce the same report stream on every example
+  #       (audit only adds the runtime cross-check, never changes reports);
+  #   (c) audit observes zero store->load dependences missing from the
+  #       static graph (exit 3 otherwise, which fails this stage via set -e);
+  #   (d) the graph does real work: heap_relay.mir's exploit is reachable
+  #       only across the store->load edges, and the builder records
+  #       nonzero nodes and memory edges.
+  current_step="vuln-flow off-mode byte-identity"
+  for j in 1 4; do
+    ./build/tools/owl_cli --jobs "$j" --print-reports --detector-impl fast \
+      --vuln-flow off \
+      --manifest "build/manifest-vf-off-j$j.json" \
+      --metrics-out "build/metrics-vf-off-j$j.txt" \
+      "${examples[@]}" > "build/out-vf-off-j$j.txt"
+    diff -u "build/out-fast-j$j.txt" "build/out-vf-off-j$j.txt" \
+      || { echo "ci.sh: --vuln-flow off changed the reports (jobs=$j)" >&2
+           exit 1; }
+    python3 scripts/manifest_diff.py \
+      "build/manifest-fast-j$j.json" "build/manifest-vf-off-j$j.json" \
+      || { echo "ci.sh: --vuln-flow off changed the manifest (jobs=$j)" >&2
+           exit 1; }
+    cmp "build/metrics-fast-j$j.txt" "build/metrics-vf-off-j$j.txt" \
+      || { echo "ci.sh: --vuln-flow off changed metrics (jobs=$j)" >&2
+           exit 1; }
+  done
+
+  current_step="vuln-flow on vs audit report identity"
+  for j in 1 4; do
+    for mode in on audit; do
+      ./build/tools/owl_cli --jobs "$j" --print-reports --detector-impl fast \
+        --vuln-flow "$mode" \
+        --manifest "build/manifest-vf-$mode-j$j.json" \
+        "${examples[@]}" > "build/out-vf-$mode-j$j.txt"
+    done
+    diff -u "build/out-vf-on-j$j.txt" "build/out-vf-audit-j$j.txt" \
+      || { echo "ci.sh: --vuln-flow audit changed the reports (jobs=$j)" >&2
+           exit 1; }
+  done
+
+  current_step="flow-only exploit discovery (heap_relay.mir)"
+  ./build/tools/owl_cli --jobs 1 --print-reports \
+    examples/ir/heap_relay.mir > build/out-hr-off.txt
+  grep -q "vulnerability reports: 0" build/out-hr-off.txt \
+    || { echo "ci.sh: heap_relay.mir exploit visible without --vuln-flow" >&2
+         echo "ci.sh: (the example no longer plants a flow-only exploit)" >&2
+         exit 1; }
+  ./build/tools/owl_cli --jobs 1 --print-reports --vuln-flow on \
+    examples/ir/heap_relay.mir > build/out-hr-on.txt
+  grep -q "vulnerability reports: 1" build/out-hr-on.txt \
+    || { echo "ci.sh: --vuln-flow on missed the heap_relay exploit" >&2
+         exit 1; }
+  grep -q "null-pointer-dereference" build/out-hr-on.txt \
+    || { echo "ci.sh: heap_relay exploit is not the planted deref" >&2
+         exit 1; }
+
+  current_step="vuln-flow effectiveness"
+  python3 - <<'EOF'
+import json
+on = json.load(open("build/manifest-vf-on-j1.json"))
+audit = json.load(open("build/manifest-vf-audit-j1.json"))
+nodes = on["metrics"].get("valueflow.nodes", 0)
+mem_edges = on["metrics"].get("valueflow.mem_edges", 0)
+violations = audit["environment"]["advisory_metrics"].get(
+    "vulnflow.audit_violations", -1)
+if nodes <= 0:
+    raise SystemExit("ci.sh: value-flow graph recorded no nodes")
+if mem_edges <= 0:
+    raise SystemExit("ci.sh: value-flow graph recorded no store->load edges")
+if violations != 0:
+    raise SystemExit(
+        f"ci.sh: vuln-flow audit counted {violations} violation(s)")
+EOF
+
   # Checker-suite gate (DESIGN.md §11), three promises:
   #   (a) --checkers off is byte-identical to not passing the flag at all
   #       (the baseline outputs above ran without it);
@@ -362,13 +438,15 @@ EOF
     || { echo "ci.sh: repeat run produced a different SARIF log" >&2
          exit 1; }
   python3 scripts/check_sarif.py build/checkers-j1.sarif \
-    --expect OWL-DL-001=1 --expect OWL-AV-001=1 --expect OWL-LM-001=1 \
-    --expect OWL-CV-001=1 --expect-total 4
+    --expect OWL-DL-001=2 --expect OWL-AV-001=1 --expect OWL-LM-001=1 \
+    --expect OWL-CV-001=1 --expect-total 5
 
   current_step="checker planted-exploit sweep"
-  planted="lock_cycle atomicity_split double_unlock cv_missed_wakeup"
+  planted="lock_cycle atomicity_split double_unlock cv_missed_wakeup \
+    nested_lock_cycle"
   for spec in lock_cycle=OWL-DL-001 atomicity_split=OWL-AV-001 \
-              double_unlock=OWL-LM-001 cv_missed_wakeup=OWL-CV-001; do
+              double_unlock=OWL-LM-001 cv_missed_wakeup=OWL-CV-001 \
+              nested_lock_cycle=OWL-DL-001; do
     stem="${spec%%=*}"
     rule="${spec##*=}"
     ./build/tools/owl_cli --jobs 1 -q --checkers all \
@@ -498,10 +576,12 @@ stage_repair() {
   current_step="repair planted ground truth"
   repaired="cv_missed_wakeup=lock_insert double_fetch=lock_insert \
     fnptr_dispatch=lock_insert guarded_publish=lock_insert \
-    lost_update=lock_insert null_publish=lock_insert \
-    spawn_window=relocate stale_handoff=lock_insert \
-    threadlocal_noise=lock_insert toctou=lock_insert"
-  race_free="atomicity_split double_unlock lock_cycle predicted_only"
+    heap_relay=lock_insert lost_update=lock_insert \
+    null_publish=lock_insert spawn_window=relocate \
+    stale_handoff=lock_insert threadlocal_noise=lock_insert \
+    toctou=lock_insert"
+  race_free="atomicity_split double_unlock lock_cycle nested_lock_cycle \
+    predicted_only"
   for spec in $repaired; do
     stem="${spec%%=*}"
     strategy="${spec##*=}"
@@ -514,6 +594,13 @@ stage_repair() {
       --expect status=no_races \
       || { echo "ci.sh: race-free $stem no longer reports no_races" >&2
            exit 1; }
+  done
+  # Candidate post-mortems: pin the killed_by elimination sequence for two
+  # representative reports (a single surviving candidate joins to "").
+  for stem in heap_relay spawn_window; do
+    python3 scripts/check_repair.py "build/repair-out/${stem}_repair.json" \
+      --expect killed_by= \
+      || { echo "ci.sh: $stem candidate post-mortem diverged" >&2; exit 1; }
   done
   for example in "${examples[@]}"; do
     stem="$(basename "$example" .mir)"
@@ -628,6 +715,13 @@ stage_bench() {
     --benchmark_out=build-release/BENCH_static.json \
     --benchmark_out_format=json > /dev/null
 
+  current_step="record fresh value-flow benchmarks"
+  ./build-release/bench/micro_perf \
+    --benchmark_filter='ValueFlow|VulnFlow' \
+    --benchmark_repetitions=3 \
+    --benchmark_out=build-release/BENCH_valueflow.json \
+    --benchmark_out_format=json > /dev/null
+
   current_step="record fresh predict benchmarks"
   ./build-release/bench/micro_perf --benchmark_filter='Predict' \
     --benchmark_repetitions=3 \
@@ -651,6 +745,10 @@ stage_bench() {
   current_step="benchmark regression gate (static analysis)"
   python3 scripts/check_bench.py \
     build-release/BENCH_static.json bench/baselines/BENCH_static.json
+
+  current_step="benchmark regression gate (value flow)"
+  python3 scripts/check_bench.py \
+    build-release/BENCH_valueflow.json bench/baselines/BENCH_valueflow.json
 
   current_step="benchmark regression gate (predict)"
   python3 scripts/check_bench.py \

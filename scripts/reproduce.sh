@@ -62,10 +62,21 @@ current_step="record BENCH_static.json"
   --benchmark_out=BENCH_static.json --benchmark_out_format=json \
   | tee -a bench_output.txt
 
+# Memory-aware value-flow numbers: graph construction cost and the
+# Algorithm 1 walk when every propagation step crosses a store->load edge
+# (the --vuln-flow extension, DESIGN.md §14).
+current_step="record BENCH_valueflow.json"
+./build/bench/micro_perf \
+  --benchmark_filter='ValueFlow|VulnFlow' \
+  --benchmark_repetitions=3 \
+  --benchmark_out=BENCH_valueflow.json --benchmark_out_format=json \
+  | tee -a bench_output.txt
+
 echo
 echo "Reproduction complete. See EXPERIMENTS.md for the paper-vs-measured"
 echo "record; bench_output.txt holds this run's tables and figures,"
 echo "BENCH_parallel.json the --jobs scaling numbers for this host,"
 echo "BENCH_detector.json the fast-vs-reference detector substrate numbers,"
 echo "BENCH_static.json the static-analysis (points-to/prescreen) numbers,"
+echo "BENCH_valueflow.json the value-flow build/walk numbers,"
 echo "and bench_manifests/ the per-sweep run manifests (DESIGN.md §8)."

@@ -54,50 +54,113 @@ bool LockFacts::lock_token(const ir::Value* operand,
   return pt_.id_of_site(operand, token);
 }
 
-bool LockFacts::call_may_release(const ir::Instruction& instr) const {
+void LockFacts::call_targets(const ir::Instruction& instr,
+                             std::vector<const ir::Function*>& targets,
+                             bool& unknown) const {
   if (instr.opcode() == ir::Opcode::kCall) {
     const ir::Function* callee = instr.callee();
-    return callee != nullptr && callee->is_internal() &&
-           callee->has_body() && may_release_.count(callee) != 0;
+    if (callee != nullptr && callee->is_internal() && callee->has_body()) {
+      targets.push_back(callee);
+    }
+    return;
   }
   if (instr.opcode() == ir::Opcode::kCallPtr) {
-    if (pt_.indirect_unresolved(&instr)) return true;
+    if (pt_.indirect_unresolved(&instr)) {
+      unknown = true;
+      return;
+    }
     auto it = resolved_.find(&instr);
-    if (it == resolved_.end()) return false;
+    if (it == resolved_.end()) return;
     for (const ir::Function* target : it->second) {
-      if (target->is_internal() && target->has_body() &&
-          may_release_.count(target) != 0) {
-        return true;
+      if (target->is_internal() && target->has_body()) {
+        targets.push_back(target);
       }
     }
   }
-  return false;
+}
+
+bool LockFacts::call_released_tokens(const ir::Instruction& instr,
+                                     LockSet& out) const {
+  out.clear();
+  std::vector<const ir::Function*> targets;
+  bool unknown = false;
+  call_targets(instr, targets, unknown);
+  if (unknown) return false;
+  for (const ir::Function* target : targets) {
+    if (release_unknown_.count(target) != 0) return false;
+    auto it = released_.find(target);
+    if (it == released_.end()) continue;
+    for (const PointsTo::ObjectId token : it->second) {
+      insert_sorted(out, token);
+    }
+  }
+  return true;
+}
+
+bool LockFacts::call_may_release(const ir::Instruction& instr) const {
+  LockSet tokens;
+  if (!call_released_tokens(instr, tokens)) return true;
+  return !tokens.empty();
+}
+
+bool LockFacts::call_may_release(const ir::Instruction& instr,
+                                 PointsTo::ObjectId token) const {
+  LockSet tokens;
+  if (!call_released_tokens(instr, tokens)) return true;
+  return std::binary_search(tokens.begin(), tokens.end(), token);
 }
 
 void LockFacts::compute_may_release() {
+  // Seed: a function's own unlocks. A token-resolved unlock releases
+  // exactly that token; anything else may release any mutex.
   for (const auto& f : module_.functions()) {
     for (const auto& bb : f->blocks()) {
       for (const auto& instr : bb->instructions()) {
-        if (instr->opcode() == ir::Opcode::kUnlock) {
-          may_release_.insert(f.get());
+        if (instr->opcode() != ir::Opcode::kUnlock) continue;
+        PointsTo::ObjectId token = 0;
+        if (instr->operand_count() > 0 &&
+            lock_token(instr->operand(0), token)) {
+          insert_sorted(released_[f.get()], token);
+        } else {
+          release_unknown_.insert(f.get());
         }
+        may_release_.insert(f.get());
       }
     }
   }
+  // Transitive closure over calls: a caller inherits everything its
+  // callees may release; an unresolved indirect call may release anything.
   bool changed = true;
   while (changed) {
     changed = false;
     for (const auto& f : module_.functions()) {
-      if (may_release_.count(f.get()) != 0) continue;
       for (const auto& bb : f->blocks()) {
         for (const auto& instr : bb->instructions()) {
-          if (instr->is_call() && call_may_release(*instr)) {
+          if (!instr->is_call()) continue;
+          std::vector<const ir::Function*> targets;
+          bool unknown = false;
+          call_targets(*instr, targets, unknown);
+          for (const ir::Function* target : targets) {
+            if (release_unknown_.count(target) != 0) unknown = true;
+          }
+          if (unknown && release_unknown_.count(f.get()) == 0) {
+            release_unknown_.insert(f.get());
             may_release_.insert(f.get());
             changed = true;
-            break;
+          }
+          for (const ir::Function* target : targets) {
+            auto it = released_.find(target);
+            if (it == released_.end()) continue;
+            LockSet& mine = released_[f.get()];
+            for (const PointsTo::ObjectId token : it->second) {
+              if (!std::binary_search(mine.begin(), mine.end(), token)) {
+                insert_sorted(mine, token);
+                may_release_.insert(f.get());
+                changed = true;
+              }
+            }
           }
         }
-        if (changed) break;
       }
     }
   }
@@ -124,9 +187,15 @@ void LockFacts::compute_locksets() {
           }
           break;
         case ir::Opcode::kCall:
-        case ir::Opcode::kCallPtr:
-          if (call_may_release(instr)) cur.clear();
+        case ir::Opcode::kCallPtr: {
+          LockSet released;
+          if (!call_released_tokens(instr, released)) {
+            cur.clear();  // may release an unidentifiable mutex
+          } else {
+            for (const PointsTo::ObjectId t : released) erase_sorted(cur, t);
+          }
           break;
+        }
         default:
           break;
       }

@@ -5,9 +5,11 @@
 //    entry = ∅ — callers may hold locks we cannot see, and claiming fewer
 //    held locks is the safe direction), recording the must-held token set
 //    immediately before every access/lock/unlock site;
-//  * a may-release closure over the call graph (a call into a function that
-//    may unlock anything clears the must set — resolved indirect calls
-//    included, unresolved ones assumed releasing);
+//  * a may-release closure over the call graph tracking WHICH tokens each
+//    function may transitively unlock, so a call drops exactly the released
+//    tokens from the must set (resolved indirect calls included); only a
+//    callee that may release an unidentifiable mutex — or an unresolved
+//    indirect call — still clears the whole set;
 //  * lock discipline: a mutex token is well-formed only when every
 //    lock/unlock of it names the global directly and every unlock provably
 //    holds it (a foreign unlock could break a happens-before chain
@@ -52,6 +54,15 @@ class LockFacts {
 
   /// True when executing `instr` (a call site) may release some mutex.
   bool call_may_release(const ir::Instruction& instr) const;
+  /// True when executing `instr` (a call site) may release `token`
+  /// specifically (or some mutex the analysis cannot identify).
+  bool call_may_release(const ir::Instruction& instr,
+                        PointsTo::ObjectId token) const;
+  /// Fills `out` with the sorted tokens `instr` (a call site) may
+  /// transitively release. Returns false when the call may release an
+  /// unidentifiable mutex — the caller must then drop every held token.
+  bool call_released_tokens(const ir::Instruction& instr,
+                            LockSet& out) const;
   /// True when `fn` (or anything it may call) contains an unlock.
   bool function_may_release(const ir::Function* fn) const {
     return may_release_.count(fn) != 0;
@@ -87,7 +98,15 @@ class LockFacts {
   const PointsTo& pt_;
   const ir::IndirectCallMap& resolved_;
 
+  void call_targets(const ir::Instruction& instr,
+                    std::vector<const ir::Function*>& targets,
+                    bool& unknown) const;
+
   std::unordered_set<const ir::Function*> may_release_;
+  /// Tokens each function may transitively release (sorted, deduped).
+  std::unordered_map<const ir::Function*, LockSet> released_;
+  /// Functions that may release a mutex the analysis cannot identify.
+  std::unordered_set<const ir::Function*> release_unknown_;
   std::unordered_map<const ir::Instruction*, LockSet> must_before_;
   std::vector<char> undisciplined_;
   bool all_undisciplined_ = false;

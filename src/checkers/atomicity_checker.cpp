@@ -145,7 +145,7 @@ void AtomicityChecker::run(const AnalysisContext& ctx, BugReportMgr& mgr) {
             if (facts.lock_token(mid->operand(0), token) && token == guard) {
               release = mid;
             }
-          } else if (mid->is_call() && facts.call_may_release(*mid)) {
+          } else if (mid->is_call() && facts.call_may_release(*mid, guard)) {
             release = mid;
           }
         }

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/value_flow.hpp"
 #include "interp/deadlock_probe.hpp"
 
 namespace owl::checkers {
@@ -37,6 +38,19 @@ void DeadlockChecker::run(const AnalysisContext& ctx, BugReportMgr& mgr) {
       edges.try_emplace({held, site.token},
                         EdgeWitness{site.instr, site.function});
     }
+  }
+  // Inter-procedural edges from the value-flow module: a call made while a
+  // mutex is held reaches every acquire in its transitive callees, so the
+  // cycle `f: lock A; call g` / `g: lock B` vs the reverse nesting order is
+  // visible even though no single function acquires both locks. Intra-
+  // procedural witnesses (above) win ties — they are the more direct
+  // evidence — because try_emplace keeps the first insertion.
+  for (const analysis::InterprocLockEdge& e :
+       analysis::interprocedural_lock_edges(ctx.module, facts,
+                                            ctx.statics.resolved_calls)) {
+    if (e.held == e.acquired) continue;
+    edges.try_emplace({e.held, e.acquired},
+                      EdgeWitness{e.acquire_site, e.caller});
   }
   if (edges.empty()) return;
 

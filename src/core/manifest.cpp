@@ -172,7 +172,7 @@ std::string render_manifest(const std::string& tool,
   }
 
   ManifestKv environment;
-  environment.reserve(4);
+  environment.reserve(5);
   environment.emplace_back("jobs", str_format("%u", options.jobs));
   environment.emplace_back("verifier_pool",
                            flag(options.verifier_pool != nullptr));
@@ -182,6 +182,9 @@ std::string render_manifest(const std::string& tool,
       "prescreen", std::string(race::prescreen_mode_name(options.prescreen)));
   environment.emplace_back(
       "predict", std::string(race::predict_mode_name(options.predict)));
+  environment.emplace_back(
+      "vuln_flow",
+      std::string(analysis::value_flow_mode_name(options.vuln_flow)));
   return render_manifest(tool, kv, metas, results, environment);
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
 
 #include "analysis/static_info.hpp"
 #include "core/manifest.hpp"
@@ -17,6 +20,39 @@
 #include "vuln/hint.hpp"
 
 namespace owl::core {
+
+/// Records runtime store→load dependences during detection runs
+/// (--vuln-flow audit): per-address last writer, then (writer, reader)
+/// instruction pairs on every read. Address maps reset per machine run —
+/// simulated addresses are only meaningful within one execution.
+class FlowAuditRecorder final : public interp::Observer {
+ public:
+  void begin_run() { last_write_.clear(); }
+
+  void on_access(const Access& access, const interp::Machine&) override {
+    if (access.instr == nullptr) return;
+    if (access.is_write) {
+      last_write_[access.addr] = access.instr;
+      return;
+    }
+    const auto it = last_write_.find(access.addr);
+    if (it != last_write_.end() && it->second != access.instr) {
+      pairs_.insert({it->second, access.instr});
+    }
+  }
+  void on_sync(const Sync&, const interp::Machine&) override {}
+
+  /// Observed (writer, reader) instruction pairs, deduplicated.
+  const std::set<std::pair<const ir::Instruction*, const ir::Instruction*>>&
+  pairs() const noexcept {
+    return pairs_;
+  }
+
+ private:
+  std::unordered_map<interp::Address, const ir::Instruction*> last_write_;
+  std::set<std::pair<const ir::Instruction*, const ir::Instruction*>> pairs_;
+};
+
 namespace {
 
 using support::FailureCause;
@@ -109,7 +145,8 @@ std::vector<race::RaceReport> Pipeline::detect_once(
     const PipelineTarget& target, const race::AnnotationSet* annotations,
     race::PrescreenView prescreen, std::uint64_t base_seed,
     support::Budget& budget, StageCounts& counts,
-    race::predict::TraceRecorder* recorder) const {
+    race::predict::TraceRecorder* recorder,
+    FlowAuditRecorder* flow_audit) const {
   FaultInjector* injector = options_.fault_injector;
   std::vector<race::RaceReport> merged;
   // Each pass starts a fresh trace set: the predict stage reasons over the
@@ -138,6 +175,10 @@ std::vector<race::RaceReport> Pipeline::detect_once(
       if (recorder != nullptr) {
         machine->add_observer(recorder);
         recorder->begin_run();
+      }
+      if (flow_audit != nullptr) {
+        machine->add_observer(flow_audit);
+        flow_audit->begin_run();
       }
       interp::RandomScheduler scheduler(base_seed + i);
       const interp::RunResult run = machine->run(scheduler);
@@ -168,6 +209,10 @@ std::vector<race::RaceReport> Pipeline::detect_once(
       machine->add_observer(recorder);
       recorder->begin_run();
     }
+    if (flow_audit != nullptr) {
+      machine->add_observer(flow_audit);
+      flow_audit->begin_run();
+    }
     const interp::RunResult run = machine->run(*scheduler);
     if (recorder != nullptr) recorder->finish_run(*machine);
     budget.charge_steps(run.steps);
@@ -179,7 +224,8 @@ std::vector<race::RaceReport> Pipeline::detect_once(
 std::optional<std::vector<race::RaceReport>> Pipeline::detect(
     const PipelineTarget& target, const race::AnnotationSet* annotations,
     race::PrescreenView prescreen, StageCounts& counts,
-    race::predict::TraceRecorder* recorder) const {
+    race::predict::TraceRecorder* recorder,
+    FlowAuditRecorder* flow_audit) const {
   FaultInjector* injector = options_.fault_injector;
   const support::RetryPolicy& retry = options_.retry;
   for (unsigned attempt = 0; attempt < retry.max_attempts(); ++attempt) {
@@ -192,7 +238,8 @@ std::optional<std::vector<race::RaceReport>> Pipeline::detect(
       if (injector != nullptr) injector->maybe_throw();
       std::vector<race::RaceReport> merged = detect_once(
           target, annotations, prescreen,
-          retry.seed_for(target.seed, attempt), budget, counts, recorder);
+          retry.seed_for(target.seed, attempt), budget, counts, recorder,
+          flow_audit);
       counts.retries_used += attempt;
       attribute_injected(injector, counts, PipelineStage::kDetection);
       return merged;
@@ -274,6 +321,24 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
                    << options_.checkers.canonical() << "]";
   }
 
+  // ---- value-flow graph (--vuln-flow on/audit, DESIGN.md §14) ----
+  // Built only when the mode asks for it: off-mode runs never construct
+  // the graph, never emit its metrics, and stay byte-identical.
+  std::optional<analysis::ValueFlowGraph> value_flow;
+  if (options_.vuln_flow != analysis::ValueFlowMode::kOff &&
+      target.module != nullptr && module_static.has_value()) {
+    TRACE_SPAN("value-flow", target.name);
+    const StageTimer timer(options_.stage_timings, "value-flow");
+    value_flow.emplace(*target.module, module_static->points_to,
+                       module_static->resolved_calls);
+  }
+  FlowAuditRecorder flow_recorder;
+  FlowAuditRecorder* flow_audit =
+      options_.vuln_flow == analysis::ValueFlowMode::kAudit &&
+              value_flow.has_value()
+          ? &flow_recorder
+          : nullptr;
+
   // Event-trace capture for the predict stage (DESIGN.md §12): attached to
   // every detection pass; only the last pass's traces survive, so the
   // predictor reasons over exactly the executions that produced `reduced`.
@@ -290,7 +355,8 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
   {
     TRACE_SPAN("detection", target.name);
     const StageTimer timer(options_.stage_timings, "detection");
-    raw = detect(target, nullptr, prescreen, result.counts, recorder)
+    raw = detect(target, nullptr, prescreen, result.counts, recorder,
+                 flow_audit)
               .value_or(std::vector<race::RaceReport>{});
   }
   result.counts.raw_reports = raw.size();
@@ -309,7 +375,7 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
         reduced = std::move(raw);
       } else {
         reduced = detect(target, options_.preset_annotations, prescreen,
-                         result.counts, recorder)
+                         result.counts, recorder, flow_audit)
                       .value_or(raw);  // degraded re-run: keep raw reports
       }
     } else if (options_.enable_adhoc_annotation) {
@@ -324,7 +390,7 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
       if (outcome.has_value() && !outcome->annotations.empty()) {
         result.counts.adhoc_syncs = outcome->unique_adhoc_syncs;
         reduced = detect(target, &outcome->annotations, prescreen,
-                         result.counts, recorder)
+                         result.counts, recorder, flow_audit)
                       .value_or(raw);  // degraded re-run: keep raw reports
       } else {
         if (outcome.has_value()) {
@@ -558,6 +624,20 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
     support::metrics().advisory("predict.audit_violations").inc(violations);
   }
 
+  // Flow-audit cross-check: every store→load dependence the detection
+  // schedules actually exhibited must be explained by a static mem edge
+  // (or flagged unknown on either side). An uncovered pair means the
+  // value-flow graph would have missed a real memory-mediated propagation
+  // — a soundness violation. Advisory counter; the CLI and serve executor
+  // turn a non-zero count into exit 3, mirroring --prescreen audit.
+  if (flow_audit != nullptr) {
+    std::uint64_t violations = 0;
+    for (const auto& [writer, reader] : flow_recorder.pairs()) {
+      if (!value_flow->covers(writer, reader)) ++violations;
+    }
+    support::metrics().advisory("vulnflow.audit_violations").inc(violations);
+  }
+
   // ---- step (4): static vulnerability analysis (Algorithm 1) ----
   struct PendingAttack {
     std::size_t report_index;
@@ -577,6 +657,7 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
     if (module_static.has_value()) {
       aopts.resolved_indirect = &module_static->resolved_calls;
     }
+    if (value_flow.has_value()) aopts.value_flow = &*value_flow;
     const vuln::VulnerabilityAnalyzer analyzer(*target.module, aopts);
     support::Budget analysis_budget(options_.stage_budgets.vuln_analysis);
     double analysis_seconds = 0.0;
@@ -792,6 +873,14 @@ PipelineResult Pipeline::run(const PipelineTarget& target) const {
           .inc(result.counts.repair_candidates);
       registry.counter("repair.repaired")
           .inc(result.repair.status == "repaired" ? 1 : 0);
+    }
+    if (value_flow.has_value()) {
+      // Same gating: vuln-flow-off snapshots carry no valueflow keys.
+      const analysis::ValueFlowGraph::Stats& vf = value_flow->stats();
+      registry.counter("valueflow.nodes").inc(vf.nodes);
+      registry.counter("valueflow.edges")
+          .inc(vf.def_use_edges + vf.call_edges);
+      registry.counter("valueflow.mem_edges").inc(vf.mem_edges);
     }
     registry.histogram("pipeline.raw_reports_per_target")
         .observe(result.counts.raw_reports);

@@ -22,6 +22,7 @@
 #include "checkers/checker.hpp"
 #include "core/attack.hpp"
 #include "core/report_store.hpp"
+#include "analysis/value_flow.hpp"
 #include "race/predict/predict_mode.hpp"
 #include "race/predict/trace_recorder.hpp"
 #include "race/prescreen_view.hpp"
@@ -37,6 +38,11 @@
 #include "vuln/analyzer.hpp"
 
 namespace owl::core {
+
+/// Runtime store→load dependence recorder for --vuln-flow audit; defined
+/// in pipeline.cpp, attached to detection machines like the predict
+/// stage's TraceRecorder (behavior-neutral observation).
+class FlowAuditRecorder;
 
 enum class DetectorKind {
   kTsan,       ///< happens-before races (applications)
@@ -112,6 +118,14 @@ struct PipelineOptions {
   /// confirmed (advisory counter predict.audit_violations — must stay
   /// zero).
   race::PredictMode predict = race::PredictMode::kOff;
+  /// Memory-aware value flow for Algorithm 1 (DESIGN.md §14). kOff
+  /// (default) keeps the register-only walk, byte-identical everywhere;
+  /// kOn builds the module value-flow graph and extends the walk across
+  /// store→load may-alias edges; kAudit additionally records every
+  /// runtime store→load dependence the detection schedules exhibit and
+  /// cross-checks it against the static edge set (advisory counter
+  /// vulnflow.audit_violations — must stay zero).
+  analysis::ValueFlowMode vuln_flow = analysis::ValueFlowMode::kOff;
   bool enable_race_verifier = true;     ///< off for kernels (paper §8.3)
   bool enable_vuln_verifier = true;
   unsigned race_verifier_attempts = 3;
@@ -236,14 +250,16 @@ class Pipeline {
   std::optional<std::vector<race::RaceReport>> detect(
       const PipelineTarget& target, const race::AnnotationSet* annotations,
       race::PrescreenView prescreen, StageCounts& counts,
-      race::predict::TraceRecorder* recorder) const;
+      race::predict::TraceRecorder* recorder,
+      FlowAuditRecorder* flow_audit) const;
 
   /// One detection pass (no retry wrapper); throws on detector faults.
   std::vector<race::RaceReport> detect_once(
       const PipelineTarget& target, const race::AnnotationSet* annotations,
       race::PrescreenView prescreen, std::uint64_t base_seed,
       support::Budget& budget, StageCounts& counts,
-      race::predict::TraceRecorder* recorder) const;
+      race::predict::TraceRecorder* recorder,
+      FlowAuditRecorder* flow_audit) const;
 
   PipelineOptions options_;
 };

@@ -47,7 +47,21 @@ std::shared_ptr<ir::Module> apply_candidate(const ir::Module& original,
     if (candidate.strategy == Strategy::kLockInsert) {
       lock_name = ir::add_mutex_global(*patched, candidate.lock)->name();
     }
-    for (const GuardSpan& span : candidate.guards) {
+    // Bottom-up within each block: narrowing can emit several spans per
+    // block, and guarding a later span first keeps the earlier spans'
+    // indices valid (insertions above an index never shift it).
+    std::vector<GuardSpan> guards = candidate.guards;
+    std::sort(guards.begin(), guards.end(),
+              [](const GuardSpan& a, const GuardSpan& b) {
+                if (a.first.function != b.first.function) {
+                  return a.first.function < b.first.function;
+                }
+                if (a.first.block != b.first.block) {
+                  return a.first.block < b.first.block;
+                }
+                return a.first.index > b.first.index;
+              });
+    for (const GuardSpan& span : guards) {
       if (!ir::guard_range(*patched, span.first, span.last_index,
                            lock_name)) {
         return nullptr;
@@ -198,16 +212,37 @@ RepairReport attempt_repair(const core::PipelineTarget& target,
   const RepairPlanner planner(*target.module, statics);
   for (const RepairCandidate& candidate : planner.plan(confirmed)) {
     ++report.candidates_tried;
+    CandidateOutcome outcome;
+    outcome.strategy = std::string(strategy_name(candidate.strategy));
+    outcome.lock = candidate.lock;
     std::string lock_name;
     const std::shared_ptr<ir::Module> patched =
         apply_candidate(*target.module, candidate, lock_name);
-    if (patched == nullptr) continue;
+    if (patched == nullptr) {
+      outcome.killed_by = "apply_failed";
+      report.candidates.push_back(std::move(outcome));
+      continue;
+    }
+    outcome.lock = lock_name;
     const race::MachineFactory patched_factory =
         target.factory_for_module(patched);
     // Cheapest gate first; all three must pass.
-    if (!gate_output_equal(original_signature, patched_factory)) continue;
-    if (!gate_no_new_findings(baseline, *patched, patched_factory)) continue;
-    if (!gate_race_free(target, session, patched, patched_factory)) continue;
+    if (!gate_output_equal(original_signature, patched_factory)) {
+      outcome.killed_by = "output_equal";
+      report.candidates.push_back(std::move(outcome));
+      continue;
+    }
+    if (!gate_no_new_findings(baseline, *patched, patched_factory)) {
+      outcome.killed_by = "no_new_findings";
+      report.candidates.push_back(std::move(outcome));
+      continue;
+    }
+    if (!gate_race_free(target, session, patched, patched_factory)) {
+      outcome.killed_by = "race_free";
+      report.candidates.push_back(std::move(outcome));
+      continue;
+    }
+    report.candidates.push_back(std::move(outcome));
     report.status = "repaired";
     report.strategy = std::string(strategy_name(candidate.strategy));
     report.lock = lock_name;
@@ -240,6 +275,15 @@ std::string render_repair_json(const RepairReport& report,
       report.gate_race_free ? "true" : "false",
       report.gate_no_new_findings ? "true" : "false",
       report.gate_output_equal ? "true" : "false");
+  out += " \"candidates\":[";
+  for (std::size_t i = 0; i < report.candidates.size(); ++i) {
+    const CandidateOutcome& candidate = report.candidates[i];
+    if (i != 0) out += ",";
+    out += "\n  {\"strategy\":" + json_quote(candidate.strategy) +
+           ",\"lock\":" + json_quote(candidate.lock) +
+           ",\"killed_by\":" + json_quote(candidate.killed_by) + "}";
+  }
+  out += report.candidates.empty() ? "],\n" : "\n ],\n";
   out += " \"races\":[";
   for (std::size_t i = 0; i < report.races.size(); ++i) {
     const RepairedRace& race = report.races[i];

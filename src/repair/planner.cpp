@@ -2,13 +2,21 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
+#include <utility>
+#include <vector>
+
+#include "analysis/value_flow.hpp"
+#include "ir/cfg.hpp"
+#include "ir/dominators.hpp"
 
 namespace owl::repair {
 namespace {
 
 using analysis::LockFacts;
 using analysis::PointsTo;
+using analysis::ValueFlowGraph;
 
 /// The racy instruction sites of the confirmed reports, deduplicated.
 std::set<const ir::Instruction*> racy_sites(
@@ -21,33 +29,152 @@ std::set<const ir::Instruction*> racy_sites(
   return sites;
 }
 
-/// Racy sites folded into per-(function, block) guard spans, emitted in
-/// module declaration order so candidates are deterministic.
-std::vector<GuardSpan> guard_spans(
-    const ir::Module& module, const std::set<const ir::Instruction*>& sites) {
-  std::map<std::pair<std::string, std::string>,
-           std::pair<std::size_t, std::size_t>>
-      ranges;  // (function, block) -> [min, max] index
-  for (const ir::Instruction* site : sites) {
-    const ir::InstrCoord coord = ir::coord_of(*site);
-    auto [it, inserted] = ranges.try_emplace(
-        std::make_pair(coord.function, coord.block),
-        std::make_pair(coord.index, coord.index));
-    if (!inserted) {
-      it->second.first = std::min(it->second.first, coord.index);
-      it->second.second = std::max(it->second.second, coord.index);
+/// Points-to footprint of one guard site: every abstract object any operand
+/// may reference; `unknown` set when the analysis cannot bound an operand.
+struct SiteObjects {
+  std::set<PointsTo::ObjectId> ids;
+  bool unknown = false;
+};
+
+SiteObjects site_objects(const PointsTo& pt, const ir::Instruction& instr) {
+  SiteObjects out;
+  for (const ir::Value* operand : instr.operands()) {
+    if (pt.is_unknown(operand)) out.unknown = true;
+    for (const PointsTo::ObjectId id : pt.points_to(operand)) {
+      out.ids.insert(id);
     }
   }
+  return out;
+}
+
+bool objects_overlap(const SiteObjects& a, const SiteObjects& b) {
+  if (a.unknown || b.unknown) return true;
+  for (const PointsTo::ObjectId id : a.ids) {
+    if (b.ids.count(id) != 0) return true;
+  }
+  return false;
+}
+
+/// Thread-invisible instructions: pure register/pointer arithmetic that
+/// cannot interact with any other thread no matter the interleaving.
+/// Moving a critical-section boundary across one is provably behavior-
+/// preserving; everything else (memory, sync, calls, I/O) keeps clusters
+/// joined — the conservative direction is the pre-narrowing whole-span.
+bool thread_invisible(const ir::Instruction& instr) {
+  switch (instr.opcode()) {
+    case ir::Opcode::kAdd:
+    case ir::Opcode::kSub:
+    case ir::Opcode::kMul:
+    case ir::Opcode::kUDiv:
+    case ir::Opcode::kSDiv:
+    case ir::Opcode::kAnd:
+    case ir::Opcode::kOr:
+    case ir::Opcode::kXor:
+    case ir::Opcode::kShl:
+    case ir::Opcode::kLShr:
+    case ir::Opcode::kICmp:
+    case ir::Opcode::kGep:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Racy sites folded into per-(function, block) guard spans, emitted in
+/// module declaration order — then narrowed (DESIGN.md §14): the historic
+/// one-span-per-block [min, max] range over-guards when a block carries
+/// independent site clusters separated by thread-invisible code. Two
+/// consecutive sites stay in one cluster unless all three independence
+/// proofs hold: disjoint points-to footprints, no value-flow register edge
+/// from the cluster into the next site, and a separating gap made solely
+/// of thread-invisible instructions. Each cluster becomes the minimal
+/// dominating range [first site, last site] — within a block the first
+/// instruction dominates the rest, and the dominator tree vouches the
+/// block itself is entry-reachable (unreachable blocks keep the merged
+/// whole-range span: no dominating lock placement exists for them).
+std::vector<GuardSpan> guard_spans(
+    const ir::Module& module, const analysis::ModuleStatic& statics,
+    const ValueFlowGraph& vfg,
+    const std::set<const ir::Instruction*>& sites) {
   std::vector<GuardSpan> spans;
   for (const auto& function : module.functions()) {
+    // Lazily built per function: most functions carry no guard sites.
+    std::optional<ir::Cfg> cfg;
+    std::optional<ir::DominatorTree> domtree;
     for (const auto& block : function->blocks()) {
-      const auto it =
-          ranges.find(std::make_pair(function->name(), block->label()));
-      if (it == ranges.end()) continue;
-      GuardSpan span;
-      span.first = {function->name(), block->label(), it->second.first};
-      span.last_index = it->second.second;
-      spans.push_back(std::move(span));
+      std::vector<std::size_t> indices;
+      for (std::size_t i = 0; i < block->size(); ++i) {
+        if (sites.count(block->instructions()[i].get()) != 0) {
+          indices.push_back(i);
+        }
+      }
+      if (indices.empty()) continue;
+      if (!cfg.has_value()) {
+        cfg.emplace(*function);
+        domtree.emplace(*cfg);
+      }
+
+      std::vector<std::pair<std::size_t, std::size_t>> clusters;
+      if (function->entry() == nullptr ||
+          !domtree->dominates(function->entry(), block.get())) {
+        clusters.emplace_back(indices.front(), indices.back());
+      } else {
+        std::vector<const ir::Instruction*> members;
+        SiteObjects cluster_objects;
+        std::size_t lo = indices.front();
+        std::size_t hi = indices.front();
+        members.push_back(block->instructions()[lo].get());
+        cluster_objects = site_objects(statics.points_to, *members.back());
+        for (std::size_t k = 1; k < indices.size(); ++k) {
+          const std::size_t at = indices[k];
+          const ir::Instruction* next = block->instructions()[at].get();
+          const SiteObjects next_objects =
+              site_objects(statics.points_to, *next);
+          bool join = objects_overlap(cluster_objects, next_objects);
+          if (!join) {
+            for (const ir::Instruction* member : members) {
+              const std::vector<const ir::Instruction*>& uses =
+                  vfg.uses(member);
+              if (std::find(uses.begin(), uses.end(), next) != uses.end()) {
+                join = true;
+                break;
+              }
+            }
+          }
+          if (!join) {
+            // Adjacent sites stay joined: splitting them inserts an
+            // unlock;lock seam with zero code between — pure overhead.
+            join = at == hi + 1;
+            for (std::size_t i = hi + 1; i < at; ++i) {
+              if (!thread_invisible(*block->instructions()[i])) {
+                join = true;
+                break;
+              }
+            }
+          }
+          if (join) {
+            hi = at;
+            members.push_back(next);
+            cluster_objects.unknown |= next_objects.unknown;
+            cluster_objects.ids.insert(next_objects.ids.begin(),
+                                       next_objects.ids.end());
+          } else {
+            clusters.emplace_back(lo, hi);
+            members.assign(1, next);
+            cluster_objects = next_objects;
+            lo = at;
+            hi = at;
+          }
+        }
+        clusters.emplace_back(lo, hi);
+      }
+
+      for (const auto& [lo, hi] : clusters) {
+        GuardSpan span;
+        span.first = {function->name(), block->label(), lo};
+        span.last_index = hi;
+        spans.push_back(std::move(span));
+      }
     }
   }
   return spans;
@@ -149,6 +276,11 @@ std::vector<RepairCandidate> RepairPlanner::plan(
   const std::set<const ir::Instruction*> sites = racy_sites(confirmed);
   if (sites.empty()) return candidates;
 
+  // One value-flow graph powers the span narrowing for every candidate —
+  // cheap relative to the verification gates each candidate then faces.
+  const ValueFlowGraph vfg(module_, statics_.points_to,
+                           statics_.resolved_calls);
+
   // Guard every access to the racy objects, not just the reported pair:
   // the confirmed set is schedule-dependent (a different seed confirms a
   // different subset of the same underlying races), and a lock that covers
@@ -171,7 +303,8 @@ std::vector<RepairCandidate> RepairPlanner::plan(
       }
     }
   }
-  const std::vector<GuardSpan> spans = guard_spans(module_, guard_sites);
+  const std::vector<GuardSpan> spans =
+      guard_spans(module_, statics_, vfg, guard_sites);
 
   // --- 1. lock_reuse: one existing lock must cover every racy object ---
   {
@@ -214,7 +347,7 @@ std::vector<RepairCandidate> RepairPlanner::plan(
         RepairCandidate candidate;
         candidate.strategy = Strategy::kLockReuse;
         candidate.lock = name;
-        candidate.guards = guard_spans(module_, unguarded);
+        candidate.guards = guard_spans(module_, statics_, vfg, unguarded);
         candidates.push_back(std::move(candidate));
       }
     }

@@ -40,6 +40,16 @@ struct RepairedRace {
   std::string second_loc;  ///< "file:line" of the second access
 };
 
+/// Post-mortem for one planned candidate: which verification gate (or the
+/// patch application itself) eliminated it. `killed_by` is one of
+/// "apply_failed", "output_equal", "no_new_findings", "race_free", or ""
+/// for the winning candidate.
+struct CandidateOutcome {
+  std::string strategy;
+  std::string lock;  ///< guard mutex name ("" for relocate)
+  std::string killed_by;
+};
+
 struct RepairReport {
   /// "repaired" | "unrepaired" | "no_races" ("" when the stage never ran).
   std::string status;
@@ -55,6 +65,9 @@ struct RepairReport {
   bool gate_no_new_findings = false;  ///< checker-suite differential clean
   bool gate_output_equal = false;     ///< observable output byte-identical
   std::vector<RepairedRace> races;    ///< the confirmed races being repaired
+  /// One entry per candidate in planner order; the winner (if any) is the
+  /// last entry and carries an empty killed_by.
+  std::vector<CandidateOutcome> candidates;
   /// Canonical text of the patched module ("" unless repaired). The CLI
   /// writes it to out_dir; serialize/render never include it wholesale.
   std::string patched_text;

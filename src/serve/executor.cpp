@@ -128,6 +128,7 @@ ExecResult Executor::run(const std::string& module_text,
   pipeline_options.detector_impl = options.detector_impl;
   pipeline_options.prescreen = options.prescreen;
   pipeline_options.predict = options.predict;
+  pipeline_options.vuln_flow = options.vuln_flow;
   pipeline_options.checkers = options.checkers;
   pipeline_options.repair.enabled = options.repair;  // out_dir stays empty
   pipeline_options.manifest_tool = "owl_cli";
@@ -199,6 +200,17 @@ ExecResult Executor::run(const std::string& module_text,
       result.error += str_format(
           "owl_cli: predict audit: %llu verified race(s) the "
           "SP-closure wrongly called infeasible\n",
+          static_cast<unsigned long long>(violations));
+      result.exit_code = 3;
+    }
+  }
+  if (options.vuln_flow == analysis::ValueFlowMode::kAudit) {
+    const std::uint64_t violations =
+        support::metrics().advisory("vulnflow.audit_violations").value();
+    if (violations != 0) {
+      result.error += str_format(
+          "owl_cli: vuln-flow audit: %llu runtime store->load "
+          "dependence(s) missing from the static value-flow graph\n",
           static_cast<unsigned long long>(violations));
       result.exit_code = 3;
     }

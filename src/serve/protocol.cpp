@@ -84,6 +84,12 @@ bool AnalysisOptions::from_json(const JsonValue& value, AnalysisOptions& out,
           !race::parse_predict_mode(field.as_string(), out.predict)) {
         return bad(key);
       }
+    } else if (key == "vuln_flow") {
+      if (!field.is_string() ||
+          !analysis::parse_value_flow_mode(field.as_string(),
+                                           out.vuln_flow)) {
+        return bad(key);
+      }
     } else if (key == "schedules") {
       std::uint64_t n = 0;
       if (!read_uint(field, n) || n == 0 || n > 1u << 20) return bad(key);
@@ -152,10 +158,10 @@ bool AnalysisOptions::from_json(const JsonValue& value, AnalysisOptions& out,
 
 std::string AnalysisOptions::canonical_blob(
     const std::string& target_name) const {
-  // v4: the blob gained repair= (v3 added predict=, v2 checkers=/sarif=) —
-  // the marker bump makes keys from older daemons differ even for
-  // repair-off requests.
-  std::string out = "owl-options-v4\n";
+  // v5: the blob gained vuln_flow= (v4 repair=, v3 predict=, v2
+  // checkers=/sarif=) — the marker bump makes keys from older daemons
+  // differ even for flow-off requests.
+  std::string out = "owl-options-v5\n";
   out += "name=" + target_name + "\n";
   out += "entry=" + entry + "\n";
   out += "inputs=" + words_csv(inputs) + "\n";
@@ -171,6 +177,9 @@ std::string AnalysisOptions::canonical_blob(
   out += "\n";
   out += "predict=";
   out += race::predict_mode_name(predict);
+  out += "\n";
+  out += "vuln_flow=";
+  out += analysis::value_flow_mode_name(vuln_flow);
   out += "\n";
   out += str_format("schedules=%u\n", schedules);
   out += str_format("seed=%llu\n", static_cast<unsigned long long>(seed));
@@ -303,6 +312,8 @@ std::string serialize_request(const Request& request) {
   out += ",\"prescreen\":" +
          json_quote(race::prescreen_mode_name(opt.prescreen));
   out += ",\"predict\":" + json_quote(race::predict_mode_name(opt.predict));
+  out += ",\"vuln_flow\":" +
+         json_quote(analysis::value_flow_mode_name(opt.vuln_flow));
   out += str_format(",\"schedules\":%u", opt.schedules);
   out += str_format(",\"seed\":%lld", static_cast<long long>(opt.seed));
   out += str_format(",\"max_steps\":%llu",

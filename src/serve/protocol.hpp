@@ -59,6 +59,7 @@ struct AnalysisOptions {
   race::DetectorImpl detector_impl = race::DetectorImpl::kFast;
   race::PrescreenMode prescreen = race::PrescreenMode::kOff;
   race::PredictMode predict = race::PredictMode::kOff;
+  analysis::ValueFlowMode vuln_flow = analysis::ValueFlowMode::kOff;
   unsigned schedules = 4;
   std::uint64_t seed = 1;
   std::uint64_t max_steps = 400'000;

@@ -7,6 +7,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "analysis/value_flow.hpp"
 #include "ir/callgraph.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
@@ -110,6 +111,26 @@ class Walker {
     return ret_corrupted;
   }
 
+  /// Memory-corrupted readers discovered since the last call, in value-flow
+  /// node order (module declaration order). Each reader is handed out once;
+  /// the driver re-runs detect() from it so corruption surfacing in
+  /// functions the register walk never visits still reaches the site scan.
+  std::vector<const ir::Instruction*> take_mem_seeds() {
+    std::vector<const ir::Instruction*> seeds = std::move(mem_seeds_);
+    mem_seeds_.clear();
+    if (options_.value_flow != nullptr) {
+      std::sort(seeds.begin(), seeds.end(),
+                [this](const ir::Instruction* a, const ir::Instruction* b) {
+                  std::size_t ia = 0;
+                  std::size_t ib = 0;
+                  options_.value_flow->node_index(a, ia);
+                  options_.value_flow->node_index(b, ib);
+                  return ia < ib;
+                });
+    }
+    return seeds;
+  }
+
  private:
   /// Handles one instruction; returns true if state grew.
   bool process(const ir::Function* function, const ControlDependence& cd,
@@ -189,6 +210,47 @@ class Walker {
         local_brs.push_back(instr);
         if (!parent_.contains(instr)) parent_[instr] = tainting;
         grew = true;
+      }
+    }
+
+    // Memory-mediated propagation (--vuln-flow on/audit): a corrupted
+    // value written to memory corrupts every may-aliased reader. Readers
+    // are marked here; the analyze_from() driver restarts the walk from
+    // readers in functions this walk never visits (DESIGN.md §14).
+    if (options_.value_flow != nullptr) {
+      bool writes_corrupted = false;
+      switch (instr->opcode()) {
+        case ir::Opcode::kStore:
+          writes_corrupted = is_corrupted(instr->operand(0));
+          break;
+        case ir::Opcode::kAtomicRMWAdd:
+          writes_corrupted =
+              is_corrupted(instr) || is_corrupted(instr->operand(1));
+          break;
+        case ir::Opcode::kStrCpy:
+        case ir::Opcode::kMemCopy:
+          // The copied content is corrupted when a corrupted writer
+          // reaches this site's source region (mem edge marked the
+          // instruction itself).
+          writes_corrupted = is_corrupted(instr);
+          break;
+        default:
+          break;
+      }
+      if (writes_corrupted) {
+        if (instr->opcode() == ir::Opcode::kStore && !is_corrupted(instr)) {
+          mark_corrupted(instr, instr->operand(0));  // hint-chain link
+          grew = true;
+        }
+        for (const ir::Instruction* reader :
+             options_.value_flow->mem_successors(instr)) {
+          if (is_corrupted(reader)) continue;
+          mark_corrupted(reader, instr);
+          grew = true;
+          if (mem_seeded_.insert(reader).second) {
+            mem_seeds_.push_back(reader);
+          }
+        }
       }
     }
 
@@ -427,6 +489,9 @@ class Walker {
   std::vector<const ir::Instruction*> ctrl_context_;
   std::map<DescentKey, bool> descended_;
   std::set<std::pair<const ir::Instruction*, DepKind>> reported_;
+  /// Readers corrupted via store→load edges, pending a driver restart.
+  std::vector<const ir::Instruction*> mem_seeds_;
+  std::unordered_set<const ir::Instruction*> mem_seeded_;
 };
 
 }  // namespace
@@ -494,7 +559,14 @@ VulnAnalysis VulnerabilityAnalyzer::analyze_from(
       while (!work.empty()) {
         const ir::Function* f = work.back();
         work.pop_back();
-        for (ir::Function* caller : cg.callers(f)) {
+        // Iterate callers in module declaration order, not the hash order
+        // of the callers() set: the walk has per-call-site state (memo,
+        // report dedup), so enumeration order is observable in the output
+        // and must stay byte-identical across jobs/repeat runs.
+        const std::unordered_set<ir::Function*>& caller_set = cg.callers(f);
+        for (const auto& fn : module_->functions()) {
+          ir::Function* caller = fn.get();
+          if (caller_set.count(caller) == 0) continue;
           for (const ir::Instruction* site : cg.call_sites(f)) {
             if (site->function() != caller) continue;
             if (!site->type().is_void()) {
@@ -506,6 +578,24 @@ VulnAnalysis VulnerabilityAnalyzer::analyze_from(
           }
           if (visited.insert(caller).second) work.push_back(caller);
         }
+      }
+    }
+
+    // Drain memory-mediated seeds: every reader corrupted through a
+    // store→load edge restarts the walk in its own function (which the
+    // register-only walk may never have entered). Seeds are unique per
+    // instruction, so this terminates.
+    while (true) {
+      const std::vector<const ir::Instruction*> seeds =
+          walker.take_mem_seeds();
+      if (seeds.empty()) break;
+      for (const ir::Instruction* seed : seeds) {
+        if (seed->function() == nullptr || seed->parent() == nullptr) {
+          continue;
+        }
+        walker.detect(seed->function(), seed->parent(),
+                      seed->parent()->index_of(seed), /*ctrl_in=*/false,
+                      /*depth=*/0);
       }
     }
   }

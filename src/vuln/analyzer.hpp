@@ -28,6 +28,10 @@
 #include "vuln/control_dep.hpp"
 #include "vuln/sites.hpp"
 
+namespace owl::analysis {
+class ValueFlowGraph;
+}  // namespace owl::analysis
+
 namespace owl::vuln {
 
 enum class DepKind { kControl, kData };
@@ -89,6 +93,14 @@ class VulnerabilityAnalyzer {
     /// dropping corruption at the dispatch — the pre-analysis blind spot.
     /// Not owned; must outlive the analyzer. nullptr = callptr opaque.
     const ir::IndirectCallMap* resolved_indirect = nullptr;
+    /// Module-wide value-flow graph (--vuln-flow on/audit). When set, the
+    /// walk additionally follows store→load may-alias edges: a corrupted
+    /// value written to memory corrupts every reader that may alias it,
+    /// and the walk restarts from readers in functions the register-only
+    /// walk never reaches. nullptr (default) = the original register-only
+    /// Algorithm 1 behavior, byte-identical to pre-flow output.
+    /// Not owned; must outlive the analyzer.
+    const analysis::ValueFlowGraph* value_flow = nullptr;
   };
 
   explicit VulnerabilityAnalyzer(const ir::Module& module)

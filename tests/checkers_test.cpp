@@ -603,6 +603,7 @@ TEST(CheckerSuiteTest, ExampleGroundTruth) {
   // example is clean under the full suite.
   const std::map<std::string, std::string> planted = {
       {"lock_cycle.mir", "OWL-DL-001"},
+      {"nested_lock_cycle.mir", "OWL-DL-001"},
       {"atomicity_split.mir", "OWL-AV-001"},
       {"double_unlock.mir", "OWL-LM-001"},
       {"cv_missed_wakeup.mir", "OWL-CV-001"},

@@ -1,0 +1,423 @@
+// Tests for the memory-aware value-flow engine (DESIGN.md §14): the graph
+// itself (store->load may-alias edges, call binding through resolved
+// indirect calls, deterministic serialization), the Algorithm 1 extension
+// that walks those edges, the inter-procedural lock-order export, and the
+// golden dumps over the shipped examples.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/static_info.hpp"
+#include "analysis/value_flow.hpp"
+#include "ir/parser.hpp"
+#include "ir/verifier.hpp"
+#include "vuln/analyzer.hpp"
+
+namespace owl::analysis {
+namespace {
+
+std::shared_ptr<ir::Module> parse_ok(std::string_view text) {
+  auto result = ir::parse_module(text);
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  std::shared_ptr<ir::Module> m = std::move(result).value();
+  EXPECT_TRUE(ir::verify_module(*m).is_ok());
+  return m;
+}
+
+const ir::Instruction* find_instr(const ir::Function* f, ir::Opcode op,
+                                  std::size_t n = 0) {
+  for (const auto& bb : f->blocks()) {
+    for (const auto& instr : bb->instructions()) {
+      if (instr->opcode() == op) {
+        if (n == 0) return instr.get();
+        --n;
+      }
+    }
+  }
+  return nullptr;
+}
+
+interp::CallStack stack_of(const ir::Instruction* read) {
+  return {{read->function(), read}};
+}
+
+TEST(ValueFlowGraphTest, StoreLoadAliasHit) {
+  auto m = parse_ok(R"(module hit
+global @cell
+func @writer() {
+entry:
+  store 7, @cell
+  ret
+}
+func @reader() {
+entry:
+  %v = load @cell
+  ret
+}
+func @main() {
+entry:
+  call @writer()
+  call @reader()
+  ret
+}
+)");
+  const ModuleStatic statics(*m);
+  const ValueFlowGraph graph(*m, statics.points_to, statics.resolved_calls);
+  const ir::Instruction* store =
+      find_instr(m->find_function("writer"), ir::Opcode::kStore);
+  const ir::Instruction* load =
+      find_instr(m->find_function("reader"), ir::Opcode::kLoad);
+  ASSERT_NE(store, nullptr);
+  ASSERT_NE(load, nullptr);
+  EXPECT_TRUE(graph.has_mem_edge(store, load));
+  EXPECT_TRUE(graph.covers(store, load));
+  ASSERT_EQ(graph.mem_successors(store).size(), 1u);
+  EXPECT_EQ(graph.mem_successors(store).front(), load);
+  EXPECT_GE(graph.stats().mem_edges, 1u);
+}
+
+TEST(ValueFlowGraphTest, StoreLoadAliasMiss) {
+  auto m = parse_ok(R"(module miss
+global @a
+global @b
+func @writer() {
+entry:
+  store 7, @a
+  ret
+}
+func @reader() {
+entry:
+  %v = load @b
+  ret
+}
+func @main() {
+entry:
+  call @writer()
+  call @reader()
+  ret
+}
+)");
+  const ModuleStatic statics(*m);
+  const ValueFlowGraph graph(*m, statics.points_to, statics.resolved_calls);
+  const ir::Instruction* store =
+      find_instr(m->find_function("writer"), ir::Opcode::kStore);
+  const ir::Instruction* load =
+      find_instr(m->find_function("reader"), ir::Opcode::kLoad);
+  EXPECT_FALSE(graph.has_mem_edge(store, load));
+  EXPECT_FALSE(graph.covers(store, load));
+  EXPECT_TRUE(graph.mem_successors(store).empty());
+}
+
+TEST(ValueFlowGraphTest, CallPtrResolvedBinding) {
+  // The actual argument of a points-to-resolved indirect call must feed
+  // the uses of the callee's formal — the binding the register-only walk
+  // already has for direct calls, extended through kCallPtr dispatch.
+  auto m = parse_ok(R"(module fp
+global @handler
+func @target(i64 %a) {
+entry:
+  %y = add %a, 0
+  ret
+}
+func @main() {
+entry:
+  store @target, @handler
+  %fp = load @handler
+  %x = add 1, 2
+  callptr %fp(%x)
+  ret
+}
+)");
+  const ModuleStatic statics(*m);
+  ASSERT_FALSE(statics.resolved_calls.empty());
+  const ValueFlowGraph graph(*m, statics.points_to, statics.resolved_calls);
+  const ir::Instruction* def =
+      find_instr(m->find_function("main"), ir::Opcode::kAdd);
+  const ir::Instruction* formal_use =
+      find_instr(m->find_function("target"), ir::Opcode::kAdd);
+  ASSERT_NE(def, nullptr);
+  ASSERT_NE(formal_use, nullptr);
+  const std::vector<const ir::Instruction*>& uses = graph.uses(def);
+  EXPECT_NE(std::find(uses.begin(), uses.end(), formal_use), uses.end())
+      << "callptr argument binding missing from the value-flow graph";
+}
+
+TEST(ValueFlowGraphTest, UnknownPointerIsConservative) {
+  // A store through a pointer the points-to analysis cannot bound must be
+  // flagged unknown, and covers() must then explain any runtime pair.
+  auto m = parse_ok(R"(module unk
+global @cell
+global @tab [4]
+func @main() {
+entry:
+  %i = load @cell
+  %j = mul %i, %i
+  %k = mul %j, %i
+  %g1 = gep @tab, %k
+  %g2 = gep %g1, %j
+  %g3 = gep %g2, %k
+  %g4 = gep %g3, %j
+  %g5 = gep %g4, %k
+  store 1, %g5
+  %v = load @cell
+  ret
+}
+)");
+  const ModuleStatic statics(*m);
+  const ValueFlowGraph graph(*m, statics.points_to, statics.resolved_calls);
+  const ir::Instruction* store =
+      find_instr(m->find_function("main"), ir::Opcode::kStore);
+  const ir::Instruction* load =
+      find_instr(m->find_function("main"), ir::Opcode::kLoad, 1);
+  ASSERT_NE(store, nullptr);
+  ASSERT_NE(load, nullptr);
+  if (graph.writes_unknown(store)) {
+    EXPECT_TRUE(graph.covers(store, load));
+  } else {
+    // Points-to bounded the chain after all; the precise edge must exist
+    // for any object overlap (tab vs cell: disjoint, no edge required).
+    SUCCEED();
+  }
+}
+
+TEST(ValueFlowGraphTest, DeterministicRepeatSerialize) {
+  auto m = parse_ok(R"(module det
+global @g
+global @h
+func @w() {
+entry:
+  %v = load @g
+  store %v, @h
+  ret
+}
+func @r() {
+entry:
+  %u = load @h
+  store %u, @g
+  ret
+}
+func @main() {
+entry:
+  call @w()
+  call @r()
+  ret
+}
+)");
+  const ModuleStatic statics(*m);
+  const ValueFlowGraph first(*m, statics.points_to, statics.resolved_calls);
+  const ValueFlowGraph second(*m, statics.points_to, statics.resolved_calls);
+  EXPECT_FALSE(first.serialize().empty());
+  EXPECT_EQ(first.serialize(), second.serialize());
+  EXPECT_EQ(first.serialize(), first.serialize());
+}
+
+TEST(ValueFlowWalkTest, MemoryRelayIsFlowOnly) {
+  // Miniature heap_relay: the corrupted index transits @slot, and only the
+  // store->load edge lets Algorithm 1 reach the dereference in @consumer.
+  auto m = parse_ok(R"(module relay
+global @idx = 1
+global @slot
+global @tab [16]
+func @producer() {
+entry:
+  %v = load @idx
+  store %v, @slot
+  ret
+}
+func @consumer() {
+entry:
+  %i = load @slot
+  %p = gep @tab, %i
+  store 7, %p
+  ret
+}
+func @main() {
+entry:
+  %t = thread_create @producer, 0
+  thread_join %t
+  call @consumer()
+  ret
+}
+)");
+  const ModuleStatic statics(*m);
+  const ir::Instruction* read =
+      find_instr(m->find_function("producer"), ir::Opcode::kLoad);
+  ASSERT_NE(read, nullptr);
+
+  vuln::VulnerabilityAnalyzer::Options off;
+  const vuln::VulnerabilityAnalyzer register_only(*m, off);
+  EXPECT_TRUE(register_only.analyze_from(read, stack_of(read))
+                  .exploits.empty())
+      << "register-only walk unexpectedly reached the relay site";
+
+  const ValueFlowGraph graph(*m, statics.points_to, statics.resolved_calls);
+  vuln::VulnerabilityAnalyzer::Options on;
+  on.value_flow = &graph;
+  const vuln::VulnerabilityAnalyzer with_flow(*m, on);
+  const vuln::VulnAnalysis analysis =
+      with_flow.analyze_from(read, stack_of(read));
+  ASSERT_EQ(analysis.exploits.size(), 1u);
+  const vuln::ExploitReport& e = analysis.exploits.front();
+  EXPECT_EQ(e.type, vuln::SiteType::kNullPtrDeref);
+  ASSERT_NE(e.function, nullptr);
+  EXPECT_EQ(e.function->name(), "consumer");
+}
+
+TEST(ValueFlowWalkTest, WholeProgramCallersInModuleOrder) {
+  // Pinning test for the caller-enumeration determinism fix: whole-program
+  // mode walks a racy callee's callers in module declaration order, so the
+  // exploit list is reproducible run to run (and process to process).
+  auto m = parse_ok(R"(module wp
+global @cnt
+global @buf [8]
+global @src [8]
+func @leak() -> i64 {
+entry:
+  %v = load @cnt
+  ret %v
+}
+func @alpha() {
+entry:
+  %n = call @leak()
+  memcpy @buf, @src, %n
+  ret
+}
+func @beta() {
+entry:
+  %n = call @leak()
+  memcpy @buf, @src, %n
+  ret
+}
+func @gamma() {
+entry:
+  %n = call @leak()
+  memcpy @buf, @src, %n
+  ret
+}
+func @main() {
+entry:
+  call @alpha()
+  call @beta()
+  call @gamma()
+  ret
+}
+)");
+  const ir::Instruction* read =
+      find_instr(m->find_function("leak"), ir::Opcode::kLoad);
+  ASSERT_NE(read, nullptr);
+  vuln::VulnerabilityAnalyzer::Options options;
+  options.mode = vuln::VulnerabilityAnalyzer::Mode::kWholeProgram;
+  const vuln::VulnerabilityAnalyzer analyzer(*m, options);
+  const vuln::VulnAnalysis first = analyzer.analyze_from(read, {});
+  ASSERT_EQ(first.exploits.size(), 3u);
+  EXPECT_EQ(first.exploits[0].function->name(), "alpha");
+  EXPECT_EQ(first.exploits[1].function->name(), "beta");
+  EXPECT_EQ(first.exploits[2].function->name(), "gamma");
+  const vuln::VulnAnalysis second = analyzer.analyze_from(read, {});
+  ASSERT_EQ(second.exploits.size(), first.exploits.size());
+  for (std::size_t i = 0; i < first.exploits.size(); ++i) {
+    EXPECT_EQ(first.exploits[i].site, second.exploits[i].site);
+  }
+}
+
+TEST(InterprocLockEdgeTest, NestedAbbaCycle) {
+  // The ABBA order split across call boundaries: no function acquires two
+  // locks directly, so the edges exist only through the call closure.
+  auto m = parse_ok(R"(module nest
+global @m1
+global @m2
+func @helper_b() {
+entry:
+  lock @m2
+  unlock @m2
+  ret
+}
+func @path_a() {
+entry:
+  lock @m1
+  call @helper_b()
+  unlock @m1
+  ret
+}
+func @helper_a() {
+entry:
+  lock @m1
+  unlock @m1
+  ret
+}
+func @path_b() {
+entry:
+  lock @m2
+  call @helper_a()
+  unlock @m2
+  ret
+}
+func @main() {
+entry:
+  %a = thread_create @path_a, 0
+  %b = thread_create @path_b, 0
+  thread_join %a
+  thread_join %b
+  ret
+}
+)");
+  const ModuleStatic statics(*m);
+  PointsTo::ObjectId m1 = 0;
+  PointsTo::ObjectId m2 = 0;
+  ASSERT_TRUE(statics.points_to.id_of_site(m->find_global("m1"), m1));
+  ASSERT_TRUE(statics.points_to.id_of_site(m->find_global("m2"), m2));
+  const std::vector<InterprocLockEdge> edges = interprocedural_lock_edges(
+      *m, statics.lock_facts, statics.resolved_calls);
+  bool m1_to_m2 = false;
+  bool m2_to_m1 = false;
+  for (const InterprocLockEdge& e : edges) {
+    if (e.held == m1 && e.acquired == m2) {
+      m1_to_m2 = true;
+      EXPECT_EQ(e.caller->name(), "path_a");
+    }
+    if (e.held == m2 && e.acquired == m1) {
+      m2_to_m1 = true;
+      EXPECT_EQ(e.caller->name(), "path_b");
+    }
+  }
+  EXPECT_TRUE(m1_to_m2);
+  EXPECT_TRUE(m2_to_m1);
+}
+
+// Golden dumps: serialize() for representative examples is pinned under
+// tests/golden/value_flow/. Regenerate by deleting a file and re-running
+// with OWL_UPDATE_GOLDENS=1 (or copy the printed dump).
+TEST(ValueFlowGoldenTest, ExamplesMatchGoldenDumps) {
+  const std::filesystem::path examples(OWL_EXAMPLES_DIR);
+  const std::filesystem::path goldens =
+      std::filesystem::path(OWL_GOLDEN_DIR) / "value_flow";
+  std::size_t compared = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(examples)) {
+    if (entry.path().extension() != ".mir") continue;
+    const std::filesystem::path golden =
+        goldens / (entry.path().stem().string() + ".txt");
+    if (!std::filesystem::exists(golden)) continue;
+    std::ifstream source(entry.path());
+    std::stringstream text;
+    text << source.rdbuf();
+    auto m = parse_ok(text.str());
+    const ModuleStatic statics(*m);
+    const ValueFlowGraph graph(*m, statics.points_to,
+                               statics.resolved_calls);
+    std::ifstream golden_in(golden);
+    std::stringstream want;
+    want << golden_in.rdbuf();
+    EXPECT_EQ(graph.serialize(), want.str())
+        << "value-flow dump diverged for " << entry.path().filename();
+    ++compared;
+  }
+  EXPECT_GE(compared, 6u) << "golden coverage shrank unexpectedly";
+}
+
+}  // namespace
+}  // namespace owl::analysis

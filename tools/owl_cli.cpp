@@ -34,6 +34,15 @@
 //                          audit (exhaustive path plus verdict cross-check;
 //                          a nonzero violation count exits 3). Also
 //                          --predict=MODE
+//   --vuln-flow MODE       memory-aware value flow for Algorithm 1
+//                          (DESIGN.md §14): off (default; register-only
+//                          walk), on (corruption follows store->load
+//                          may-alias edges into functions the call-stack
+//                          walk never reaches), or audit (on plus a
+//                          cross-check of every runtime-observed
+//                          store->load dependence against the static edge
+//                          set; a nonzero violation count exits 3). Also
+//                          --vuln-flow=MODE
 //   --schedules N          detection schedules (default: 4)
 //   --seed S               base schedule seed (default: 1)
 //   --max-steps N          per-run instruction budget (default: 400000)
@@ -83,7 +92,8 @@
 //
 // Exit status: 0 when the pipeline ran (regardless of findings), 1 on
 // usage/parse errors, 2 when the module fails verification, 3 when
-// --prescreen audit or --predict audit observed soundness violations.
+// --prescreen audit, --predict audit, or --vuln-flow audit observed
+// soundness violations.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -119,6 +129,7 @@ struct CliOptions {
   race::DetectorImpl detector_impl = race::DetectorImpl::kFast;
   race::PrescreenMode prescreen = race::PrescreenMode::kOff;
   race::PredictMode predict = race::PredictMode::kOff;
+  analysis::ValueFlowMode vuln_flow = analysis::ValueFlowMode::kOff;
   unsigned schedules = 4;
   std::uint64_t seed = 1;
   std::uint64_t max_steps = 400'000;
@@ -149,6 +160,7 @@ void usage() {
                "       [--detector tsan|ski|atomicity] [--schedules N]\n"
                "       [--detector-impl fast|reference]\n"
                "       [--prescreen off|on|audit] [--predict off|on|audit]\n"
+               "       [--vuln-flow off|on|audit]\n"
                "       [--seed S] [--max-steps N] [--no-adhoc]\n"
                "       [--no-race-verifier] [--no-vuln-verifier]\n"
                "       [--whole-program] [--print-module] [--print-reports]\n"
@@ -233,6 +245,17 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       }
     } else if (arg.rfind("--predict=", 0) == 0) {
       if (!race::parse_predict_mode(arg.substr(10), options.predict)) {
+        return false;
+      }
+    } else if (arg == "--vuln-flow") {
+      const char* v = next();
+      if (v == nullptr ||
+          !analysis::parse_value_flow_mode(v, options.vuln_flow)) {
+        return false;
+      }
+    } else if (arg.rfind("--vuln-flow=", 0) == 0) {
+      if (!analysis::parse_value_flow_mode(arg.substr(12),
+                                           options.vuln_flow)) {
         return false;
       }
     } else if (arg == "--schedules") {
@@ -452,6 +475,7 @@ int main(int argc, char** argv) {
   pipeline_options.detector_impl = options.detector_impl;
   pipeline_options.prescreen = options.prescreen;
   pipeline_options.predict = options.predict;
+  pipeline_options.vuln_flow = options.vuln_flow;
   pipeline_options.checkers = options.checkers;
   pipeline_options.repair.enabled = !options.repair_dir.empty();
   pipeline_options.repair.out_dir = options.repair_dir;
@@ -593,6 +617,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "owl_cli: predict audit: %llu verified race(s) the "
                    "SP-closure wrongly called infeasible\n",
+                   static_cast<unsigned long long>(violations));
+      status = 3;
+    }
+  }
+  if (options.vuln_flow == analysis::ValueFlowMode::kAudit) {
+    const std::uint64_t violations =
+        support::metrics().advisory("vulnflow.audit_violations").value();
+    if (violations != 0) {
+      std::fprintf(stderr,
+                   "owl_cli: vuln-flow audit: %llu runtime store->load "
+                   "dependence(s) missing from the static value-flow "
+                   "graph\n",
                    static_cast<unsigned long long>(violations));
       status = 3;
     }
